@@ -1,0 +1,226 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Sec. VI), plus microbenchmarks for the substrate pieces
+// and ablations of the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use reduced instance scales and retrieval timeouts so a
+// full sweep stays in the minutes; cmd/musebench runs the paper-scale
+// configuration and prints the paper-shaped tables.
+package muse_test
+
+import (
+	"testing"
+	"time"
+
+	"muse/internal/bench"
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/designer"
+	"muse/internal/homo"
+	"muse/internal/mapping"
+	"muse/internal/scenarios"
+)
+
+func benchCfg() bench.MuseGConfig {
+	return bench.MuseGConfig{Scale: 0.05, Timeout: 30 * time.Millisecond}
+}
+
+// --- Fig. 2: the chase ---
+
+func BenchmarkChaseFig2(b *testing.B) {
+	f := scenarios.NewFigure1(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := chase.Chase(f.Source, f.M1, f.M2, f.M3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChaseScenario chases a generated instance of each scenario
+// with its full (disambiguated) mapping set.
+func BenchmarkChaseScenario(b *testing.B) {
+	for _, s := range scenarios.All() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			set, err := s.Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ms []*mapping.Mapping
+			for _, m := range set.Mappings {
+				if m.Ambiguous() {
+					m = m.Interpretation(make([]int, len(m.OrGroups)))
+				}
+				ms = append(ms, m)
+			}
+			in := s.NewInstance(0.02)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Chase(in, ms...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T1: scenario characteristics ---
+
+func BenchmarkCharacteristics(b *testing.B) {
+	for _, s := range scenarios.All() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunCharacteristics(s, 0.02); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T2 / Fig. 5: Muse-G per scenario × strategy ---
+
+func BenchmarkMuseG(b *testing.B) {
+	for _, s := range scenarios.All() {
+		for _, strat := range []designer.Strategy{designer.G1, designer.G2, designer.G3} {
+			s, strat := s, strat
+			b.Run(s.Name+"_"+strat.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunMuseG(s, strat, benchCfg()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- T3: Muse-D per ambiguous scenario ---
+
+func BenchmarkMuseD(b *testing.B) {
+	for _, name := range []string{"Mondial", "TPCH"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			s, err := scenarios.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunMuseD(s, 0.05); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- ablations (DESIGN.md §6) ---
+
+// BenchmarkMuseGAblation compares the full wizard against dropping the
+// key-based reduction and dropping real-example retrieval.
+func BenchmarkMuseGAblation(b *testing.B) {
+	s, err := scenarios.ByName("DBLP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		cfg  func() bench.MuseGConfig
+	}{
+		{"full", func() bench.MuseGConfig { return benchCfg() }},
+		{"nokeys", func() bench.MuseGConfig { c := benchCfg(); c.NoKeys = true; return c }},
+		{"noreal", func() bench.MuseGConfig { c := benchCfg(); c.NoReal = true; return c }},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunMuseG(s, designer.G1, v.cfg()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkProbeQuestion measures one Muse-G probe (example
+// construction + two chases) on the Fig. 1 scenario.
+func BenchmarkProbeQuestion(b *testing.B) {
+	f := scenarios.NewFigure1(false)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := core.NewGroupingWizard(f.SrcDeps, nil)
+		if _, err := w.DesignSK(f.M2, "SKProjects", oracle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealExampleRetrieval measures the Q_Ie evaluation over the
+// Mondial instance (the sub-second column of Fig. 5).
+func BenchmarkRealExampleRetrieval(b *testing.B) {
+	s, err := scenarios.ByName("Mondial")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := s.NewInstance(0.2)
+	set, err := s.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m *mapping.Mapping
+	for _, cand := range set.Mappings {
+		if !cand.Ambiguous() && len(cand.SKs) > 0 && len(cand.For) >= 2 {
+			m = cand
+			break
+		}
+	}
+	oracle, err := designer.StrategyOracle(designer.G1, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := core.NewGroupingWizard(s.Src, in)
+		w.Timeout = 200 * time.Millisecond
+		if _, err := w.DesignMapping(m, oracle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIsomorphism measures the scenario comparison the designer
+// oracle performs on every question.
+func BenchmarkIsomorphism(b *testing.B) {
+	f := scenarios.NewFigure1(false)
+	out1 := chase.MustChase(f.Source, f.M2)
+	out2 := chase.MustChase(f.Source, f.M2.WithSK("SKProjects", []mapping.Expr{mapping.E("c", "cname")}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if homo.Isomorphic(out1, out2) {
+			b.Fatal("distinct groupings reported isomorphic")
+		}
+	}
+}
+
+// BenchmarkMappingGeneration measures the Clio-style generator on the
+// largest scenario.
+func BenchmarkMappingGeneration(b *testing.B) {
+	s, err := scenarios.ByName("Mondial")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Command muse is the interactive mapping design wizard: it loads a
+// scenario from a Muse document and walks the designer — you — through
+// Muse-D (disambiguation) and Muse-G (grouping design) questions on
+// small data examples, then prints the refined mappings.
+//
+// Usage:
+//
+//	muse -doc scenario.muse -src CompDB -tgt OrgDB [-instance I] [-mode session]
+//
+// Modes:
+//
+//	session       Muse-D then Muse-G over every mapping (default)
+//	disambiguate  Muse-D only
+//	group         Muse-G only (requires -mapping; -sk optional)
+//	groupmore     incremental Muse-G: try to drop grouping arguments
+//	groupless     incremental Muse-G: try to add grouping arguments
+//	joins         choose inner/outer join semantics (requires -mapping)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"muse"
+)
+
+func main() {
+	log.SetFlags(0)
+	docPath := flag.String("doc", "", "path to the Muse document")
+	src := flag.String("src", "", "source schema name")
+	tgt := flag.String("tgt", "", "target schema name")
+	inst := flag.String("instance", "", "source instance to draw examples from (optional)")
+	mode := flag.String("mode", "session", "session | disambiguate | group | groupmore | groupless | joins")
+	mapName := flag.String("mapping", "", "mapping to refine (group* modes)")
+	skName := flag.String("sk", "", "grouping function to design (group* modes; default: all)")
+	flag.Parse()
+
+	if *docPath == "" || *src == "" || *tgt == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*docPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := muse.Parse(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := doc.MappingSet(*src, *tgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var real *muse.Instance
+	if *inst != "" {
+		real = doc.Instances[*inst]
+		if real == nil {
+			log.Fatalf("document has no instance %q", *inst)
+		}
+	}
+	deps := doc.Deps[*src]
+	ui := &console{in: bufio.NewReader(os.Stdin)}
+
+	switch *mode {
+	case "session":
+		session := muse.NewSession(deps, real)
+		out, err := session.Run(set, ui, ui)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printMappings(out.Mappings)
+		fmt.Printf("(%d disambiguation question(s), %d grouping question(s))\n",
+			session.Disambiguation.Stats.TotalQuestions(),
+			session.Grouping.Stats.TotalQuestions())
+	case "disambiguate":
+		w := muse.NewDisambiguationWizard(deps, real)
+		var out []*muse.Mapping
+		for _, m := range set.Mappings {
+			ms, err := w.Disambiguate(m, ui)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, ms...)
+		}
+		printMappings(out)
+	case "group", "groupmore", "groupless":
+		m := set.ByName(*mapName)
+		if m == nil {
+			log.Fatalf("no mapping %q (have: %s)", *mapName, names(set.Mappings))
+		}
+		w := muse.NewGroupingWizard(deps, real)
+		var out *muse.Mapping
+		switch {
+		case *mode == "group" && *skName == "":
+			out, err = w.DesignMapping(m, ui)
+		case *mode == "group":
+			out, err = w.DesignSK(m, *skName, ui)
+		case *mode == "groupmore":
+			out, err = w.GroupMore(m, *skName, ui)
+		default:
+			out, err = w.GroupLess(m, *skName, ui)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		printMappings([]*muse.Mapping{out})
+	case "joins":
+		m := set.ByName(*mapName)
+		if m == nil {
+			log.Fatalf("no mapping %q (have: %s)", *mapName, names(set.Mappings))
+		}
+		w := muse.NewDisambiguationWizard(deps, real)
+		out, err := w.DesignJoins(m, ui)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printMappings(out)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func printMappings(ms []*muse.Mapping) {
+	fmt.Println("=== refined mappings ===")
+	for _, m := range ms {
+		fmt.Println(muse.FormatMapping(m))
+	}
+}
+
+func names(ms []*muse.Mapping) string {
+	var out []string
+	for _, m := range ms {
+		out = append(out, m.Name)
+	}
+	return strings.Join(out, ", ")
+}
+
+// console poses wizard questions on the terminal.
+type console struct {
+	in *bufio.Reader
+	n  int
+}
+
+// ChooseScenario implements muse.GroupingDesigner.
+func (c *console) ChooseScenario(q *muse.GroupingQuestion) (int, error) {
+	c.n++
+	origin := "synthetic example"
+	if q.Real {
+		origin = "example drawn from your instance"
+	}
+	fmt.Printf("\n━━━ Question %d — mapping %s, grouping %s (%s) ━━━\n", c.n, q.Mapping.Name, q.SK, origin)
+	if q.Probe.Var != "" {
+		fmt.Printf("Should %s take part in the grouping?\n", q.Probe)
+	} else {
+		fmt.Println("Should the data be grouped by its key (one group per key value)?")
+	}
+	fmt.Println("\nExample source:")
+	fmt.Print(indent(q.Source.StringCompact()))
+	fmt.Printf("\nScenario 1 — group by {%s}:\n", exprList(q.Include1))
+	fmt.Print(indent(q.Scenario1.StringCompact()))
+	fmt.Printf("\nScenario 2 — group by {%s}:\n", exprList(q.Include2))
+	fmt.Print(indent(q.Scenario2.StringCompact()))
+	for {
+		fmt.Print("\nWhich target looks correct? [1/2] ")
+		line, err := c.in.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		switch strings.TrimSpace(line) {
+		case "1":
+			return 1, nil
+		case "2":
+			return 2, nil
+		}
+		fmt.Println("please answer 1 or 2")
+	}
+}
+
+// SelectValues implements muse.DisambiguationDesigner.
+func (c *console) SelectValues(q *muse.ChoiceQuestion) ([][]int, error) {
+	c.n++
+	fmt.Printf("\n━━━ Question %d — mapping %s is ambiguous ━━━\n", c.n, q.Mapping.Name)
+	fmt.Println("Example source:")
+	fmt.Print(indent(q.Source.StringCompact()))
+	fmt.Println("\nPartial target instance:")
+	fmt.Print(indent(q.Target.StringCompact()))
+	out := make([][]int, len(q.Choices))
+	for i, ch := range q.Choices {
+		fmt.Printf("\nValue(s) for %s:\n", ch.Element)
+		for j, v := range ch.Values {
+			fmt.Printf("  [%d] %s\n", j+1, v)
+		}
+		for {
+			fmt.Print("pick one or more (e.g. 1 or 1,2): ")
+			line, err := c.in.ReadString('\n')
+			if err != nil {
+				return nil, err
+			}
+			sel, ok := parseSelection(line, len(ch.Values))
+			if ok {
+				out[i] = sel
+				break
+			}
+			fmt.Println("invalid selection")
+		}
+	}
+	return out, nil
+}
+
+// ChooseJoin implements muse.JoinDesigner.
+func (c *console) ChooseJoin(q *muse.JoinQuestion) (bool, error) {
+	c.n++
+	origin := "synthetic example"
+	if q.Real {
+		origin = "example drawn from your instance"
+	}
+	fmt.Printf("\n━━━ Question %d — join semantics of %s (%s) ━━━\n", c.n, q.Mapping.Name, origin)
+	fmt.Printf("This data matches only {%s} (no full join partner):\n", strings.Join(q.Variant.Keep, ", "))
+	fmt.Print(indent(q.Source.StringCompact()))
+	fmt.Println("\nScenario 1 — exchange the unmatched data too (outer):")
+	fmt.Print(indent(q.WithVariant.StringCompact()))
+	fmt.Println("\nScenario 2 — exchange matched combinations only (inner):")
+	fmt.Print(indent(q.WithoutVariant.StringCompact()))
+	for {
+		fmt.Print("\nWhich target looks correct? [1/2] ")
+		line, err := c.in.ReadString('\n')
+		if err != nil {
+			return false, err
+		}
+		switch strings.TrimSpace(line) {
+		case "1":
+			return true, nil
+		case "2":
+			return false, nil
+		}
+		fmt.Println("please answer 1 or 2")
+	}
+}
+
+func parseSelection(line string, n int) ([]int, bool) {
+	var out []int
+	for _, part := range strings.Split(strings.TrimSpace(line), ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 || v > n {
+			return nil, false
+		}
+		out = append(out, v-1)
+	}
+	return out, len(out) > 0
+}
+
+func exprList(es []muse.Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ") + "\n"
+}

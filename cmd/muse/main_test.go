@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"muse"
+)
+
+func TestParseSelection(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want []int
+		ok   bool
+	}{
+		{"1\n", 2, []int{0}, true},
+		{" 2 \n", 2, []int{1}, true},
+		{"1,2\n", 2, []int{0, 1}, true},
+		{"3\n", 2, nil, false},
+		{"0\n", 2, nil, false},
+		{"x\n", 2, nil, false},
+		{"\n", 2, nil, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseSelection(tc.in, tc.n)
+		if ok != tc.ok {
+			t.Errorf("parseSelection(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseSelection(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseSelection(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+// question builds a minimal grouping question for console tests.
+func consoleQuestion(t *testing.T) *muse.GroupingQuestion {
+	t.Helper()
+	doc, err := muse.Parse(`
+schema S { A: set of record { x: int } }
+schema T { B: set of record { y: int } }
+mapping m { for a in S.A exists b in T.B where a.x = b.y }
+instance I of S { A: (1) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := doc.Instances["I"]
+	return &muse.GroupingQuestion{
+		Mapping: doc.Mappings[0], SK: "SKx",
+		Probe:     muse.E("a", "x"),
+		Source:    in,
+		Scenario1: in, Scenario2: in,
+	}
+}
+
+func TestConsoleChooseScenario(t *testing.T) {
+	q := consoleQuestion(t)
+	c := &console{in: bufio.NewReader(strings.NewReader("junk\n2\n"))}
+	ans, err := c.ChooseScenario(q)
+	if err != nil || ans != 2 {
+		t.Errorf("ChooseScenario = %d, %v; want 2 (after one invalid line)", ans, err)
+	}
+	c = &console{in: bufio.NewReader(strings.NewReader("1\n"))}
+	if ans, _ := c.ChooseScenario(q); ans != 1 {
+		t.Errorf("ChooseScenario = %d, want 1", ans)
+	}
+	// EOF surfaces as an error, not a hang.
+	c = &console{in: bufio.NewReader(strings.NewReader(""))}
+	if _, err := c.ChooseScenario(q); err == nil {
+		t.Error("EOF should error")
+	}
+}
+
+func TestConsoleSelectValues(t *testing.T) {
+	doc, err := muse.Parse(`
+schema S { A: set of record { x: int } }
+schema T { B: set of record { y: int } }
+mapping m { for a in S.A exists b in T.B where a.x = b.y }
+instance I of S { A: (1) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := doc.Instances["I"]
+	q := &muse.ChoiceQuestion{
+		Mapping: doc.Mappings[0],
+		Source:  in, Target: in,
+		Choices: []muse.Choice{{Element: muse.E("b", "y"), Values: []muse.Value{muse.Const("42")}}},
+	}
+	c := &console{in: bufio.NewReader(strings.NewReader("bogus\n1\n"))}
+	sel, err := c.SelectValues(q)
+	if err != nil || len(sel) != 1 || len(sel[0]) != 1 || sel[0][0] != 0 {
+		t.Errorf("SelectValues = %v, %v", sel, err)
+	}
+}
+
+func TestNamesAndIndent(t *testing.T) {
+	doc, _ := muse.Parse(`
+schema S { A: set of record { x: int } }
+schema T { B: set of record { y: int } }
+mapping m { for a in S.A exists b in T.B where a.x = b.y }
+`)
+	if got := names(doc.Mappings); got != "m" {
+		t.Errorf("names = %q", got)
+	}
+	if got := indent("a\nb"); got != "    a\n    b\n" {
+		t.Errorf("indent = %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Command musebench reproduces the evaluation of Sec. VI of the paper:
+// the scenario characteristics table, the Muse-G table of Fig. 5
+// (scenario × G1/G2/G3), and the Muse-D table.
+//
+// Usage:
+//
+//	musebench                         # all tables, paper configuration
+//	musebench -table museg -scenario DBLP
+//	musebench -scale 0.2 -timeout 100ms   # faster, smaller instances
+//	musebench -nokeys                 # ablation: no key-based reduction
+//	musebench -noreal                 # ablation: synthetic examples only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"muse/internal/bench"
+	"muse/internal/designer"
+	"muse/internal/scenarios"
+)
+
+func main() {
+	log.SetFlags(0)
+	table := flag.String("table", "all", "characteristics | museg | mused | all")
+	scenario := flag.String("scenario", "", "restrict to one scenario (Mondial, DBLP, TPCH, Amalgam)")
+	scale := flag.Float64("scale", 1, "instance scale (1 ≈ the paper's data sizes)")
+	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-question real-example retrieval budget")
+	noKeys := flag.Bool("nokeys", false, "ablation: disable key-based question reduction")
+	noReal := flag.Bool("noreal", false, "ablation: disable real-example retrieval")
+	flag.Parse()
+
+	scns := scenarios.All()
+	if *scenario != "" {
+		s, err := scenarios.ByName(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scns = []*scenarios.Scenario{s}
+	}
+
+	runChar := *table == "all" || *table == "characteristics"
+	runG := *table == "all" || *table == "museg"
+	runD := *table == "all" || *table == "mused"
+	if !runChar && !runG && !runD {
+		log.Fatalf("unknown table %q", *table)
+	}
+
+	if runChar {
+		var rows []bench.Characteristics
+		for _, s := range scns {
+			row, err := bench.RunCharacteristics(s, *scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(bench.FormatCharacteristics(rows))
+	}
+
+	if runG {
+		cfg := bench.MuseGConfig{Scale: *scale, Timeout: *timeout, NoKeys: *noKeys, NoReal: *noReal}
+		var rows []bench.MuseGRow
+		for _, s := range scns {
+			for _, strat := range []designer.Strategy{designer.G1, designer.G2, designer.G3} {
+				start := time.Now()
+				row, err := bench.RunMuseG(s, strat, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(os.Stderr, "· %s %s done in %s\n", s.Name, strat, time.Since(start).Round(time.Millisecond))
+			}
+		}
+		fmt.Println(bench.FormatMuseG(rows))
+	}
+
+	if runD {
+		var rows []bench.MuseDRow
+		for _, s := range scns {
+			if s.PaperDQuestions == 0 && *scenario == "" {
+				continue // the paper runs Muse-D only where ambiguity exists
+			}
+			row, err := bench.RunMuseD(s, *scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) > 0 {
+			fmt.Println(bench.FormatMuseD(rows))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command musegen runs the Clio-style mapping generator: it reads a
+// Muse document's schemas, constraints and correspondence arrows, and
+// prints the generated mappings (with default G1 grouping functions
+// and or-groups where arrows are ambiguous) in the document syntax —
+// ready to be refined with cmd/muse.
+//
+// Usage:
+//
+//	musegen -doc scenario.muse -src CompDB -tgt OrgDB [-sql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"muse"
+)
+
+func main() {
+	log.SetFlags(0)
+	docPath := flag.String("doc", "", "path to the Muse document")
+	src := flag.String("src", "", "source schema name")
+	tgt := flag.String("tgt", "", "target schema name")
+	sql := flag.Bool("sql", false, "also print the SQL transformation script")
+	flag.Parse()
+
+	if *docPath == "" || *src == "" || *tgt == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*docPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := muse.Parse(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrs := doc.CorrsBetween(*src, *tgt)
+	if len(corrs) == 0 {
+		log.Fatalf("document has no correspondences from %s to %s", *src, *tgt)
+	}
+	set, err := muse.GenerateMappings(doc.Deps[*src], doc.Deps[*tgt], corrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# generated %d mapping(s), %d ambiguous\n\n", len(set.Mappings), len(set.Ambiguous()))
+	for _, m := range set.Mappings {
+		fmt.Println(muse.FormatMapping(m))
+	}
+	if *sql {
+		if len(set.Ambiguous()) > 0 {
+			log.Fatal("cannot emit SQL for ambiguous mappings; refine with cmd/muse first")
+		}
+		script, err := muse.GenerateScript(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(script)
+	}
+}

@@ -1,0 +1,119 @@
+package muse_test
+
+import (
+	"fmt"
+	"log"
+
+	"muse"
+)
+
+const exampleScenario = `
+schema CompDB {
+  Companies: set of record { cid: int, cname: string, location: string },
+  Projects:  set of record { pid: string, pname: string, cid: int }
+}
+schema OrgDB {
+  Orgs: set of record {
+    oname: string,
+    Projects: set of record { pname: string }
+  }
+}
+key CompDB.Companies(cid)
+ref f1: CompDB.Projects(cid) -> CompDB.Companies(cid)
+
+mapping m {
+  for c in CompDB.Companies, p in CompDB.Projects
+  satisfy p.cid = c.cid
+  exists o in OrgDB.Orgs, p1 in o.Projects
+  where c.cname = o.oname and p.pname = p1.pname
+    and o.Projects = SKProjects(c.cid, c.cname, c.location)
+}
+
+instance I of CompDB {
+  Companies: (11, "IBM", "NY"), (12, "IBM", "SF")
+  Projects: (p1, "DB", 11), (p2, "Web", 12)
+}
+`
+
+// ExampleChase parses a scenario and materializes the canonical
+// universal solution.
+func ExampleChase() {
+	doc, err := muse.Parse(exampleScenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := doc.MappingSet("CompDB", "OrgDB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := muse.Chase(doc.Instances["I"], set.Mappings...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out.StringCompact())
+	// Output:
+	// Orgs:
+	//   (IBM)
+	//     Projects = SKProjects#1:
+	//       (DB)
+	//   (IBM)
+	//     Projects = SKProjects#2:
+	//       (Web)
+}
+
+// ExampleGroupingWizard designs a grouping function with a scripted
+// designer who wants projects grouped by company name: the two IBM
+// branches merge into one nested set.
+func ExampleGroupingWizard() {
+	doc, err := muse.Parse(exampleScenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, _ := doc.MappingSet("CompDB", "OrgDB")
+	m := set.ByName("m")
+
+	wizard := muse.NewGroupingWizard(doc.Deps["CompDB"], doc.Instances["I"])
+	oracle := muse.NewGroupingOracle("SKProjects", []muse.Expr{muse.E("c", "cname")})
+	refined, err := wizard.DesignSK(m, "SKProjects", oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(refined.SKFor("SKProjects").SK)
+
+	out, _ := muse.Chase(doc.Instances["I"], refined)
+	fmt.Print(out.StringCompact())
+	// Output:
+	// SKProjects(c.cname)
+	// Orgs:
+	//   (IBM)
+	//     Projects = SKProjects#1:
+	//       (DB)
+	//       (Web)
+}
+
+// ExampleGenerateMappings derives mappings from correspondence arrows
+// alone (the Clio-style generator) and compiles them to SQL.
+func ExampleGenerateMappings() {
+	doc, err := muse.Parse(`
+schema S { emps: set of record { eid: int, name: string } }
+schema T { People: set of record { pname: string } }
+correspondence S.emps.name -> T.People.pname
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := muse.GenerateMappings(doc.Deps["S"], doc.Deps["T"], doc.CorrsBetween("S", "T"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql, err := muse.GenerateSQL(set.Mappings[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sql)
+	// Output:
+	// -- mapping m1
+	// INSERT INTO People (pname)
+	// SELECT DISTINCT s1e.name
+	// FROM emps AS s1e;
+}

@@ -1,0 +1,104 @@
+// Incremental: refining an existing grouping design (Sec. III-C).
+//
+// A designer settled on grouping projects by company name some time
+// ago. Requirements changed twice:
+//
+//  1. "group less" — projects should now be split further, by company
+//     name AND location; Muse-G probes only the attributes not already
+//     implied by the current design;
+//  2. "group more" — later the split turns out too fine, and the
+//     designer merges back to name alone; one question per current
+//     argument decides what can be dropped.
+//
+// Run with: go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"muse"
+)
+
+const scenario = `
+schema CompDB {
+  Companies: set of record { cid: int, cname: string, location: string },
+  Projects:  set of record { pid: string, pname: string, cid: int }
+}
+schema OrgDB {
+  Orgs: set of record {
+    oname: string,
+    Projects: set of record { pname: string }
+  }
+}
+ref f1: CompDB.Projects(cid) -> CompDB.Companies(cid)
+
+mapping m {
+  for c in CompDB.Companies, p in CompDB.Projects
+  satisfy p.cid = c.cid
+  exists o in OrgDB.Orgs, p1 in o.Projects
+  where c.cname = o.oname and p.pname = p1.pname
+    and o.Projects = SKProjects(c.cname)
+}
+
+instance I of CompDB {
+  Companies: (11, "IBM", "NY"), (12, "IBM", "SF"), (13, "SBC", "NY")
+  Projects: (p1, "DB", 11), (p2, "Web", 12), (p3, "WiFi", 13)
+}
+`
+
+type narrator struct {
+	inner muse.GroupingDesigner
+	n     int
+}
+
+func (na *narrator) ChooseScenario(q *muse.GroupingQuestion) (int, error) {
+	na.n++
+	ans, err := na.inner.ChooseScenario(q)
+	if err == nil {
+		fmt.Printf("  question %d: probe on %-12s → designer picks scenario %d\n", na.n, q.Probe.String(), ans)
+	}
+	return ans, err
+}
+
+func main() {
+	doc, err := muse.Parse(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := doc.Mappings[0]
+	source := doc.Instances["I"]
+	wiz := muse.NewGroupingWizard(doc.Deps["CompDB"], source)
+
+	fmt.Printf("Current design: %s\n\n", m.SKFor("SKProjects").SK)
+
+	fmt.Println("── group less: split by location as well ──")
+	finer, err := wiz.GroupLess(m, "SKProjects",
+		&narrator{inner: muse.NewGroupingOracle("SKProjects",
+			[]muse.Expr{muse.E("c", "cname"), muse.E("c", "location")})})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Refined to: %s\n\n", finer.SKFor("SKProjects").SK)
+	show(source, finer)
+
+	fmt.Println("\n── group more: merge back to name alone ──")
+	coarser, err := wiz.GroupMore(finer, "SKProjects",
+		&narrator{inner: muse.NewGroupingOracle("SKProjects",
+			[]muse.Expr{muse.E("c", "cname")})})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Refined to: %s\n\n", coarser.SKFor("SKProjects").SK)
+	show(source, coarser)
+}
+
+func show(source *muse.Instance, m *muse.Mapping) {
+	out, err := muse.Chase(source, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Resulting organization of the data:")
+	fmt.Print("    " + strings.ReplaceAll(strings.TrimRight(out.StringCompact(), "\n"), "\n", "\n    ") + "\n")
+}

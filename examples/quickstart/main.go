@@ -1,0 +1,97 @@
+// Quickstart: the paper's running example end to end.
+//
+// Parses the Fig. 1 scenario (schemas, constraints, mappings m1–m3,
+// and the Fig. 2 source instance) from the Muse document syntax,
+// chases the source with the mappings, and prints the canonical
+// universal solution — the instance shown in Fig. 2 of the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"muse"
+)
+
+const scenario = `
+schema CompDB {
+  Companies: set of record { cid: int, cname: string, location: string },
+  Projects:  set of record { pid: string, pname: string, cid: int, manager: string },
+  Employees: set of record { eid: string, ename: string, contact: string }
+}
+
+schema OrgDB {
+  Orgs: set of record {
+    oname: string,
+    Projects: set of record { pname: string, manager: string }
+  },
+  Employees: set of record { eid: string, ename: string }
+}
+
+ref f1: CompDB.Projects(cid) -> CompDB.Companies(cid)
+ref f2: CompDB.Projects(manager) -> CompDB.Employees(eid)
+
+mapping m1 {
+  for c in CompDB.Companies
+  exists o in OrgDB.Orgs
+  where c.cname = o.oname and o.Projects = SKProjects(c.cid, c.cname, c.location)
+}
+
+mapping m2 {
+  for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+  satisfy p.cid = c.cid and e.eid = p.manager
+  exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+  satisfy p1.manager = e1.eid
+  where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+    and p.pname = p1.pname
+    and o.Projects = SKProjects(c.cid, c.cname, c.location, p.pid, p.pname, p.cid, p.manager, e.eid, e.ename, e.contact)
+}
+
+mapping m3 {
+  for e in CompDB.Employees
+  exists e1 in OrgDB.Employees
+  where e.eid = e1.eid and e.ename = e1.ename
+}
+
+instance I of CompDB {
+  Companies: (111, "IBM", "Almaden"), (112, "SBC", "NY")
+  Projects: (p1, "DBSearch", 111, e14), (p2, "WebSearch", 111, e15)
+  Employees: (e14, "Smith", x2292), (e15, "Anna", x2283), (e16, "Brown", x2567)
+}
+`
+
+func main() {
+	doc, err := muse.Parse(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := doc.MappingSet("CompDB", "OrgDB")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== The schema mapping (S, T, Σ) ===")
+	for _, m := range set.Mappings {
+		fmt.Println(m)
+		fmt.Println()
+	}
+
+	source := doc.Instances["I"]
+	fmt.Println("=== Source instance I (Fig. 2, left) ===")
+	fmt.Println(source)
+
+	target, err := muse.Chase(source, set.Mappings...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Universal solution: chase of I with {m1, m2, m3} (Fig. 2, right) ===")
+	fmt.Println(target)
+
+	ok, err := muse.IsSolution(source, target, set.Mappings...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chase result is a solution: %v\n", ok)
+}

@@ -1,0 +1,3 @@
+module muse
+
+go 1.22

@@ -1,0 +1,232 @@
+// Package bench reproduces the evaluation of Sec. VI: the scenario
+// characteristics table, the Muse-G results of Fig. 5 (per scenario ×
+// grouping strategy G1/G2/G3), and the Muse-D table. Designers are the
+// strategy oracles of internal/designer, answering exactly as the
+// paper scripts them.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"muse/internal/core"
+	"muse/internal/designer"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/scenarios"
+)
+
+// Characteristics is one row of the scenario table (Sec. VI).
+type Characteristics struct {
+	Scenario     string
+	SizeMB       float64
+	GroupingSets int
+	Mappings     int
+	Ambiguous    int
+
+	PaperSizeMB       float64
+	PaperGroupingSets int
+	PaperMappings     int
+	PaperAmbiguous    int
+}
+
+// RunCharacteristics computes the characteristics row for a scenario.
+func RunCharacteristics(s *scenarios.Scenario, scale float64) (Characteristics, error) {
+	set, err := s.Generate()
+	if err != nil {
+		return Characteristics{}, err
+	}
+	in := s.NewInstance(scale)
+	return Characteristics{
+		Scenario:     s.Name,
+		SizeMB:       float64(in.SizeBytes()) / 1e6,
+		GroupingSets: s.GroupingSets(),
+		Mappings:     len(set.Mappings),
+		Ambiguous:    len(set.Ambiguous()),
+
+		PaperSizeMB:       s.PaperSizeMB,
+		PaperGroupingSets: s.PaperGroupingSets,
+		PaperMappings:     s.PaperMappings,
+		PaperAmbiguous:    s.PaperAmbiguous,
+	}, nil
+}
+
+// MuseGRow is one row of Fig. 5: a scenario × grouping-strategy cell.
+type MuseGRow struct {
+	Scenario string
+	Strategy designer.Strategy
+	// AvgPoss is the average |poss(m, SK)| over all designed grouping
+	// functions.
+	AvgPoss float64
+	// AvgQuestions is the average number of questions per grouping
+	// function.
+	AvgQuestions float64
+	// RealFraction is the fraction of questions whose example was
+	// drawn from the real source instance.
+	RealFraction float64
+	// AvgExampleTime is the mean time to construct/retrieve one
+	// example.
+	AvgExampleTime time.Duration
+
+	PaperAvgPoss float64
+}
+
+// MuseGConfig tunes a Fig. 5 run.
+type MuseGConfig struct {
+	// Scale sizes the source instance (1 ≈ the paper's data sizes).
+	Scale float64
+	// Timeout bounds each real-example retrieval.
+	Timeout time.Duration
+	// NoKeys drops the key-based question reduction (an ablation: the
+	// basic Sec. III-A algorithm).
+	NoKeys bool
+	// NoReal disables real-example retrieval (ablation).
+	NoReal bool
+}
+
+// DefaultMuseGConfig mirrors the paper's setup.
+func DefaultMuseGConfig() MuseGConfig {
+	return MuseGConfig{Scale: 1, Timeout: 500 * time.Millisecond}
+}
+
+// RunMuseG designs every grouping function of every mapping of the
+// scenario with a designer who has the given strategy in mind, and
+// reports the Fig. 5 columns.
+func RunMuseG(s *scenarios.Scenario, strat designer.Strategy, cfg MuseGConfig) (MuseGRow, error) {
+	in := s.NewInstance(cfg.Scale)
+	ms, err := disambiguatedMappings(s, in)
+	if err != nil {
+		return MuseGRow{}, err
+	}
+	src := s.Src
+	if cfg.NoKeys {
+		noKeys := *s.Src
+		noKeys.Keys = nil
+		src = &noKeys
+	}
+	gw := core.NewGroupingWizard(src, in)
+	gw.Timeout = cfg.Timeout
+	if cfg.NoReal {
+		gw.Real = nil
+	}
+	for _, m := range ms {
+		if len(m.SKs) == 0 {
+			continue
+		}
+		oracle, err := designer.StrategyOracle(strat, m)
+		if err != nil {
+			return MuseGRow{}, err
+		}
+		if _, err := gw.DesignMapping(m, oracle); err != nil {
+			return MuseGRow{}, fmt.Errorf("bench: %s/%s on %s: %v", s.Name, strat, m.Name, err)
+		}
+	}
+	return MuseGRow{
+		Scenario:       s.Name,
+		Strategy:       strat,
+		AvgPoss:        gw.Stats.AvgPoss(),
+		AvgQuestions:   gw.Stats.AvgQuestions(),
+		RealFraction:   gw.Stats.RealFraction(),
+		AvgExampleTime: gw.Stats.AvgExampleTime(),
+		PaperAvgPoss:   s.PaperAvgPoss,
+	}, nil
+}
+
+// disambiguatedMappings resolves every ambiguous mapping with a
+// first-alternative oracle (the Sec. V pipeline order: Muse-D before
+// Muse-G).
+func disambiguatedMappings(s *scenarios.Scenario, in *instance.Instance) ([]*mapping.Mapping, error) {
+	set, err := s.Generate()
+	if err != nil {
+		return nil, err
+	}
+	dw := core.NewDisambiguationWizard(s.Src, in)
+	var out []*mapping.Mapping
+	for _, m := range set.Mappings {
+		if !m.Ambiguous() {
+			out = append(out, m)
+			continue
+		}
+		sels := make([][]int, len(m.OrGroups))
+		for i := range sels {
+			sels[i] = []int{0}
+		}
+		ms, err := dw.Disambiguate(m, &designer.ChoiceOracle{Selections: sels})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// MuseDRow is one row of the Muse-D table (Sec. VI).
+type MuseDRow struct {
+	Scenario string
+	// Alternatives is the total number of interpretations encoded by
+	// the scenario's ambiguous mappings.
+	Alternatives int
+	// Questions is the number of source/target example pairs shown
+	// (one per ambiguous mapping).
+	Questions int
+	// IeTuplesMin/Max bound the example sizes.
+	IeTuplesMin, IeTuplesMax int
+	// ChoicesMin/Max bound the number of ambiguous values per target
+	// instance.
+	ChoicesMin, ChoicesMax int
+	// RealFraction is the fraction of examples drawn from the real
+	// instance (the paper reports 100%).
+	RealFraction float64
+
+	PaperAlternatives int
+	PaperQuestions    int
+}
+
+// RunMuseD disambiguates every ambiguous mapping of the scenario and
+// reports the Muse-D table columns.
+func RunMuseD(s *scenarios.Scenario, scale float64) (MuseDRow, error) {
+	set, err := s.Generate()
+	if err != nil {
+		return MuseDRow{}, err
+	}
+	in := s.NewInstance(scale)
+	dw := core.NewDisambiguationWizard(s.Src, in)
+	for _, m := range set.Ambiguous() {
+		sels := make([][]int, len(m.OrGroups))
+		for i := range sels {
+			sels[i] = []int{0}
+		}
+		if _, err := dw.Disambiguate(m, &designer.ChoiceOracle{Selections: sels}); err != nil {
+			return MuseDRow{}, fmt.Errorf("bench: Muse-D on %s/%s: %v", s.Name, m.Name, err)
+		}
+	}
+	row := MuseDRow{
+		Scenario:          s.Name,
+		Questions:         dw.Stats.TotalQuestions(),
+		Alternatives:      dw.Stats.TotalAlternatives(),
+		PaperAlternatives: s.PaperDAlternatives,
+		PaperQuestions:    s.PaperDQuestions,
+	}
+	real := 0
+	for i, rec := range dw.Stats.Mappings {
+		if i == 0 || rec.SourceTuples < row.IeTuplesMin {
+			row.IeTuplesMin = rec.SourceTuples
+		}
+		if rec.SourceTuples > row.IeTuplesMax {
+			row.IeTuplesMax = rec.SourceTuples
+		}
+		if i == 0 || rec.ChoiceValues < row.ChoicesMin {
+			row.ChoicesMin = rec.ChoiceValues
+		}
+		if rec.ChoiceValues > row.ChoicesMax {
+			row.ChoicesMax = rec.ChoiceValues
+		}
+		if rec.Real {
+			real++
+		}
+	}
+	if n := len(dw.Stats.Mappings); n > 0 {
+		row.RealFraction = float64(real) / float64(n)
+	}
+	return row, nil
+}

@@ -1,0 +1,321 @@
+package chase
+
+import (
+	"fmt"
+
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// Chase chases src with the given mappings and returns the canonical
+// universal solution: the set union of the tuples produced by chasing
+// src with each mapping (Sec. II, Fig. 2). All mappings must be
+// unambiguous (interpret ambiguous mappings with Muse-D first) and
+// share the same pair of schemas.
+func Chase(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("chase: no mappings given")
+	}
+	tgtCat := ms[0].Tgt
+	out := instance.New(tgtCat)
+	for _, m := range ms {
+		if m.Tgt != tgtCat {
+			return nil, fmt.Errorf("chase: mapping %s targets a different schema", m.Name)
+		}
+		if err := chaseOne(src, m, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MustChase is Chase, panicking on error.
+func MustChase(src *instance.Instance, ms ...*mapping.Mapping) *instance.Instance {
+	out, err := Chase(src, ms...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func chaseOne(src *instance.Instance, m *mapping.Mapping, out *instance.Instance) error {
+	if m.Ambiguous() {
+		return fmt.Errorf("chase: mapping %s is ambiguous; select an interpretation first", m.Name)
+	}
+	info, err := m.Analyze()
+	if err != nil {
+		return err
+	}
+	plan, err := planTarget(m, info)
+	if err != nil {
+		return err
+	}
+	e, err := newEvaluator(src, m)
+	if err != nil {
+		return err
+	}
+	return e.each(func(asg assignment) error {
+		return plan.emit(asg, out)
+	})
+}
+
+// targetPlan precomputes, for one mapping, how to build the target
+// tuples of an assignment: for every (exists var, attribute) slot,
+// either a source expression, or a Skolem null shared by its equality
+// class; and for every (exists var, set field), the grouping term.
+type targetPlan struct {
+	m    *mapping.Mapping
+	info *mapping.Info
+	// atomSource[var][attr] holds the source expression feeding the
+	// slot, if any.
+	atomSource map[string]map[string]mapping.Expr
+	// atomNull[var][attr] holds the Skolem symbol for slots with no
+	// source expression (one symbol per equality class).
+	atomNull map[string]map[string]string
+	// setTerm[var][field] holds the grouping term for set-valued slots.
+	setTerm map[string]map[string]mapping.SKTerm
+	// childSet[var][field] holds the set type the SetID denotes, so
+	// minted SetIDs materialize as (possibly empty) occurrences.
+	childSet map[string]map[string]*nr.SetType
+	// skolemArgs lists the source expressions that parameterize the
+	// nulls minted per assignment (all source atoms, in order).
+	skolemArgs []mapping.Expr
+	// checkGroups maps a target equality-class representative to all
+	// source expressions feeding it (usually one); multiple feeds must
+	// agree at emit time.
+	checkGroups map[mapping.Expr][]mapping.Expr
+}
+
+func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
+	p := &targetPlan{
+		m: m, info: info,
+		atomSource: make(map[string]map[string]mapping.Expr),
+		atomNull:   make(map[string]map[string]string),
+		setTerm:    make(map[string]map[string]mapping.SKTerm),
+		childSet:   make(map[string]map[string]*nr.SetType),
+		skolemArgs: m.Poss(),
+	}
+	// Union-find over target atom slots, merged by the exists-satisfy
+	// equalities; where-clause equalities attach source expressions to
+	// classes.
+	parent := make(map[mapping.Expr]mapping.Expr)
+	var find func(x mapping.Expr) mapping.Expr
+	find = func(x mapping.Expr) mapping.Expr {
+		px, ok := parent[x]
+		if !ok || px == x {
+			return x
+		}
+		root := find(px)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b mapping.Expr) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, q := range m.ExistsSat {
+		union(q.L, q.R)
+	}
+	classSource := make(map[mapping.Expr]mapping.Expr) // class root → source expr
+	for _, q := range m.Where {
+		root := find(q.R)
+		if prev, ok := classSource[root]; ok && prev != q.L {
+			// Two different source expressions feed one target slot;
+			// they must be equal for the mapping to be satisfiable. The
+			// chase equates them by checking at emit time.
+			continue
+		}
+		classSource[root] = q.L
+	}
+	for _, v := range info.TgtOrder {
+		st := info.TgtVars[v]
+		p.atomSource[v] = make(map[string]mapping.Expr)
+		p.atomNull[v] = make(map[string]string)
+		p.setTerm[v] = make(map[string]mapping.SKTerm)
+		p.childSet[v] = make(map[string]*nr.SetType)
+		for _, a := range st.Atoms {
+			slot := mapping.E(v, a)
+			root := find(slot)
+			if srcExpr, ok := classSource[root]; ok {
+				p.atomSource[v][a] = srcExpr
+			} else {
+				// One null per equality class per assignment: name the
+				// symbol after the class representative.
+				p.atomNull[v][a] = fmt.Sprintf("N_%s_%s.%s", m.Name, root.Var, root.Attr)
+			}
+		}
+		for _, f := range st.SetFields {
+			sk := m.SKForSet(mapping.E(v, f))
+			if sk == nil {
+				return nil, fmt.Errorf("chase: mapping %s has no grouping function for %s.%s (call AddDefaultSKs)", m.Name, v, f)
+			}
+			p.setTerm[v][f] = sk.SK
+			child := m.Tgt.ByPath(append(st.Path.Clone(), nr.ParsePath(f)...))
+			if child == nil {
+				return nil, fmt.Errorf("chase: mapping %s: cannot resolve target set %s.%s", m.Name, st.Path, f)
+			}
+			p.childSet[v][f] = child
+		}
+	}
+	// Consistency groups: where equalities that share a class must
+	// agree at emit time; record them.
+	p.checkGroups = make(map[mapping.Expr][]mapping.Expr)
+	for _, q := range m.Where {
+		root := find(q.R)
+		p.checkGroups[root] = append(p.checkGroups[root], q.L)
+	}
+	return p, nil
+}
+
+// emit materializes the target tuples of one satisfying assignment.
+func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
+	// Enforce multi-feed consistency: if several source expressions
+	// feed one target slot, the assignment only fires when they agree
+	// (the mapping asserts their equality).
+	for _, feeds := range p.checkGroups {
+		if len(feeds) < 2 {
+			continue
+		}
+		first := eval(asg, feeds[0])
+		for _, f := range feeds[1:] {
+			if !instance.SameValue(first, eval(asg, f)) {
+				return nil // unsatisfiable for this assignment: no tuples
+			}
+		}
+	}
+	// Skolem argument values shared by all nulls of this assignment.
+	skArgs := make([]instance.Value, len(p.skolemArgs))
+	for i, e := range p.skolemArgs {
+		skArgs[i] = eval(asg, e)
+	}
+	// Build each exists tuple.
+	built := make(map[string]*instance.Tuple, len(p.info.TgtOrder))
+	for _, v := range p.info.TgtOrder {
+		st := p.info.TgtVars[v]
+		t := instance.NewTuple(st)
+		for _, a := range st.Atoms {
+			if srcExpr, ok := p.atomSource[v][a]; ok {
+				t.Put(a, eval(asg, srcExpr))
+			} else {
+				t.Put(a, instance.NewNull(p.atomNull[v][a], skArgs...))
+			}
+		}
+		for _, f := range st.SetFields {
+			term := p.setTerm[v][f]
+			args := make([]instance.Value, len(term.Args))
+			for i, e := range term.Args {
+				args[i] = eval(asg, e)
+			}
+			ref := instance.NewSetRef(term.Fn, args...)
+			t.Put(f, ref)
+			// Materialize the (possibly empty) occurrence the SetID
+			// denotes, as in Fig. 2.
+			out.EnsureSet(p.childSet[v][f], ref)
+		}
+		built[v] = t
+	}
+	// Insert each tuple into its destination set occurrence.
+	for _, g := range p.m.Exists {
+		t := built[g.Var]
+		st := p.info.TgtVars[g.Var]
+		switch {
+		case g.Root != nil:
+			out.InsertTop(st, t)
+		default:
+			parent := built[g.Parent]
+			ref, ok := parent.Get(g.Field).(*instance.SetRef)
+			if !ok {
+				return fmt.Errorf("chase: %s.%s is not a SetID", g.Parent, g.Field)
+			}
+			out.Insert(st, ref, t)
+		}
+	}
+	return nil
+}
+
+func eval(asg assignment, e mapping.Expr) instance.Value {
+	t := asg[e.Var]
+	if t == nil {
+		return nil
+	}
+	return t.Get(e.Attr)
+}
+
+// IsSolution reports whether tgt is a solution for src under the given
+// mappings: for every assignment satisfying a mapping's for clause,
+// some assignment of the exists variables over tgt satisfies the
+// exists-satisfy equalities and the where correspondences. Grouping
+// terms are not compared (a solution may organize its nested sets with
+// any SetIDs); nesting structure is enforced by the generators
+// themselves. Used by tests as the semantic ground truth.
+func IsSolution(src, tgt *instance.Instance, ms ...*mapping.Mapping) (bool, error) {
+	for _, m := range ms {
+		if m.Ambiguous() {
+			return false, fmt.Errorf("chase: mapping %s is ambiguous", m.Name)
+		}
+		e, err := newEvaluator(src, m)
+		if err != nil {
+			return false, err
+		}
+		info := m.MustAnalyze()
+		holds := true
+		err = e.each(func(asg assignment) error {
+			if !holds {
+				return nil
+			}
+			if !existsWitness(tgt, m, info, asg, 0, make(map[string]*instance.Tuple)) {
+				holds = false
+			}
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+		if !holds {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// existsWitness searches for target tuples witnessing the exists
+// clause for one source assignment.
+func existsWitness(tgt *instance.Instance, m *mapping.Mapping, info *mapping.Info, asg assignment, i int, bound map[string]*instance.Tuple) bool {
+	if i >= len(m.Exists) {
+		for _, q := range m.ExistsSat {
+			if !instance.SameValue(bound[q.L.Var].Get(q.L.Attr), bound[q.R.Var].Get(q.R.Attr)) {
+				return false
+			}
+		}
+		for _, q := range m.Where {
+			if !instance.SameValue(eval(asg, q.L), bound[q.R.Var].Get(q.R.Attr)) {
+				return false
+			}
+		}
+		return true
+	}
+	g := m.Exists[i]
+	st := info.TgtVars[g.Var]
+	var pool []*instance.Tuple
+	if g.Root != nil {
+		pool = tgt.Top(st).Tuples()
+	} else {
+		parent := bound[g.Parent]
+		if ref, ok := parent.Get(g.Field).(*instance.SetRef); ok {
+			if occ := tgt.Set(ref); occ != nil {
+				pool = occ.Tuples()
+			}
+		}
+	}
+	for _, t := range pool {
+		bound[g.Var] = t
+		if existsWitness(tgt, m, info, asg, i+1, bound) {
+			return true
+		}
+		delete(bound, g.Var)
+	}
+	return false
+}

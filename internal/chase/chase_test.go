@@ -1,0 +1,328 @@
+package chase_test
+
+import (
+	"strings"
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+	"muse/internal/scenarios"
+)
+
+// TestFig2ChaseResult reproduces Fig. 2: the universal solution of the
+// Fig. 1 scenario's source instance under {m1, m2, m3}.
+func TestFig2ChaseResult(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	out, err := chase.Chase(f.Source, f.M1, f.M2, f.M3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orgs := f.Tgt.ByPath(nr.ParsePath("Orgs"))
+	projs := f.Tgt.ByPath(nr.ParsePath("Orgs.Projects"))
+	emps := f.Tgt.ByPath(nr.ParsePath("Employees"))
+
+	// Orgs: IBM and SBC from m1 (grouped by cid,cname,location), plus
+	// two IBM tuples from m2 (grouped by all attributes, one per
+	// project) — four Org tuples in total.
+	if got := out.Top(orgs).Len(); got != 4 {
+		t.Errorf("Orgs has %d tuples, want 4:\n%s", got, out)
+	}
+
+	// Employees: Smith and Anna (via m2 and m3, deduplicated) plus
+	// Brown (via m3 only).
+	if got := out.Top(emps).Len(); got != 3 {
+		t.Errorf("Employees has %d tuples, want 3:\n%s", got, out)
+	}
+	names := map[string]bool{}
+	for _, e := range out.Top(emps).Tuples() {
+		names[e.Get("ename").String()] = true
+	}
+	for _, want := range []string{"Smith", "Anna", "Brown"} {
+		if !names[want] {
+			t.Errorf("Employees missing %s", want)
+		}
+	}
+
+	// Projects: m1 mints SKProjects(111,IBM,Almaden) and
+	// SKProjects(112,SBC,NY) (both empty); m2 mints one set per
+	// (company, project, manager) combination, each holding one tuple.
+	var nonEmpty, total int
+	for _, occ := range out.Occurrences(projs) {
+		total++
+		if occ.Len() > 0 {
+			nonEmpty++
+			if occ.Len() != 1 {
+				t.Errorf("project set %s has %d tuples, want 1", occ.ID, occ.Len())
+			}
+		}
+	}
+	if total != 4 || nonEmpty != 2 {
+		t.Errorf("Projects occurrences: %d total / %d non-empty, want 4 / 2", total, nonEmpty)
+	}
+
+	// The m1 SetID renders exactly as in Fig. 2.
+	if !strings.Contains(out.String(), "SKProjects(111,IBM,Almaden)") {
+		t.Errorf("missing SKProjects(111,IBM,Almaden):\n%s", out)
+	}
+	// The project tuples carry pname and manager values.
+	pnames := map[string]bool{}
+	for _, occ := range out.Occurrences(projs) {
+		for _, p := range occ.Tuples() {
+			pnames[p.Get("pname").String()+"/"+p.Get("manager").String()] = true
+		}
+	}
+	if !pnames["DBSearch/e14"] || !pnames["WebSearch/e15"] {
+		t.Errorf("project tuples wrong: %v", pnames)
+	}
+}
+
+func TestChaseDeterministicAndIdempotent(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	a := chase.MustChase(f.Source, f.M1, f.M2, f.M3)
+	b := chase.MustChase(f.Source, f.M1, f.M2, f.M3)
+	if !a.Equal(b) {
+		t.Error("two chases of the same input differ")
+	}
+	// Order of mappings does not matter (set union).
+	c := chase.MustChase(f.Source, f.M3, f.M2, f.M1)
+	if !a.Equal(c) {
+		t.Error("chase result depends on mapping order")
+	}
+}
+
+func TestChaseResultIsSolution(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	out := chase.MustChase(f.Source, f.M1, f.M2, f.M3)
+	ok, err := chase.IsSolution(f.Source, out, f.M1, f.M2, f.M3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("chase result is not a solution")
+	}
+}
+
+func TestEmptyTargetIsNotSolution(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	empty := instance.New(f.Tgt)
+	ok, err := chase.IsSolution(f.Source, empty, f.M3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty instance accepted as a solution for a non-empty source")
+	}
+}
+
+// TestUniversality: the chase result maps homomorphically into any
+// other solution (here: a hand-built solution with extra tuples and
+// concrete values in place of nulls).
+func TestUniversality(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	out := chase.MustChase(f.Source, f.M3)
+
+	emps := f.Tgt.ByPath(nr.ParsePath("Employees"))
+	other := instance.New(f.Tgt)
+	for _, row := range [][2]string{{"e14", "Smith"}, {"e15", "Anna"}, {"e16", "Brown"}, {"e99", "Extra"}} {
+		other.InsertTop(emps, instance.NewTuple(emps).
+			Put("eid", instance.C(row[0])).Put("ename", instance.C(row[1])))
+	}
+	ok, err := chase.IsSolution(f.Source, other, f.M3)
+	if err != nil || !ok {
+		t.Fatalf("hand-built solution rejected: %v", err)
+	}
+	if !homo.Homomorphic(out, other) {
+		t.Error("chase result does not map into the alternative solution")
+	}
+	if homo.Homomorphic(other, out) {
+		t.Error("alternative solution with extra constants mapped into the chase result")
+	}
+}
+
+func TestChaseRejectsAmbiguous(t *testing.T) {
+	f4 := scenarios.NewFigure4()
+	if _, err := chase.Chase(f4.Source, f4.MA); err == nil {
+		t.Error("chase accepted an ambiguous mapping")
+	}
+	// But its interpretations chase fine.
+	out, err := chase.Chase(f4.Source, f4.MA.Interpretation([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	projs := f4.Tgt.ByPath(nr.ParsePath("Projects"))
+	tuples := out.Top(projs).Tuples()
+	if len(tuples) != 1 {
+		t.Fatalf("Projects has %d tuples, want 1", len(tuples))
+	}
+	got := tuples[0]
+	if got.Get("supervisor").String() != "Jon" || got.Get("email").String() != "anna@ibm" {
+		t.Errorf("interpretation [0,1] produced %s, want supervisor=Jon email=anna@ibm", got)
+	}
+}
+
+func TestChaseErrors(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	if _, err := chase.Chase(f.Source); err == nil {
+		t.Error("chase with no mappings accepted")
+	}
+	f4 := scenarios.NewFigure4()
+	if _, err := chase.Chase(f.Source, f.M1, f4.MA.Interpretation([]int{0, 0})); err == nil {
+		t.Error("chase accepted mappings with different target schemas")
+	}
+}
+
+func TestNullsForUncoveredTargetAttributes(t *testing.T) {
+	// Extend the target Employees with an attribute no mapping covers:
+	// chase must mint labeled nulls, Skolemized per assignment.
+	src := scenarios.NewFigure1(false).Src
+	tgt := nr.MustCatalog(nr.MustSchema("OrgDB", nr.Record(
+		nr.F("Employees", nr.SetOf(nr.Record(
+			nr.F("eid", nr.StringType()),
+			nr.F("ename", nr.StringType()),
+			nr.F("salary", nr.IntType()),
+		))),
+	)))
+	m := &mapping.Mapping{
+		Name: "m", Src: src, Tgt: tgt,
+		For:    []mapping.Gen{mapping.FromRoot("e", "Employees")},
+		Exists: []mapping.Gen{mapping.FromRoot("e1", "Employees")},
+		Where: []mapping.Eq{
+			{L: mapping.E("e", "eid"), R: mapping.E("e1", "eid")},
+			{L: mapping.E("e", "ename"), R: mapping.E("e1", "ename")},
+		},
+	}
+	in := instance.New(src)
+	in.MustInsertVals("Employees", "e1", "Jon", "x1")
+	in.MustInsertVals("Employees", "e2", "Ann", "x2")
+	out := chase.MustChase(in, m)
+	emps := tgt.ByPath(nr.ParsePath("Employees"))
+	tuples := out.Top(emps).Tuples()
+	if len(tuples) != 2 {
+		t.Fatalf("Employees has %d tuples, want 2", len(tuples))
+	}
+	// Each salary is a null, and the two nulls differ (different
+	// assignments mint different Skolem terms).
+	s0, s1 := tuples[0].Get("salary"), tuples[1].Get("salary")
+	if !instance.IsNull(s0) || !instance.IsNull(s1) {
+		t.Fatalf("salaries are not nulls: %v, %v", s0, s1)
+	}
+	if instance.SameValue(s0, s1) {
+		t.Error("different assignments produced the same null")
+	}
+}
+
+func TestExistsSatisfyEquatesSlots(t *testing.T) {
+	// In m2, p1.manager = e1.eid forces the project tuple's manager to
+	// carry the employee id drawn from the source.
+	f := scenarios.NewFigure1(false)
+	out := chase.MustChase(f.Source, f.M2)
+	projs := f.Tgt.ByPath(nr.ParsePath("Orgs.Projects"))
+	for _, occ := range out.Occurrences(projs) {
+		for _, p := range occ.Tuples() {
+			mgr := p.Get("manager")
+			if !instance.IsConst(mgr) {
+				t.Errorf("manager %v should be a constant equated to e.eid", mgr)
+			}
+		}
+	}
+}
+
+func TestNestedSourceGenerators(t *testing.T) {
+	// A nested source: authors with nested papers, flattened to the
+	// target. Exercises Parent/Field generators on the source side.
+	src := nr.MustCatalog(nr.MustSchema("DBLP", nr.Record(
+		nr.F("Authors", nr.SetOf(nr.Record(
+			nr.F("name", nr.StringType()),
+			nr.F("Papers", nr.SetOf(nr.Record(
+				nr.F("title", nr.StringType()),
+			))),
+		))),
+	)))
+	tgt := nr.MustCatalog(nr.MustSchema("Flat", nr.Record(
+		nr.F("Pubs", nr.SetOf(nr.Record(
+			nr.F("author", nr.StringType()),
+			nr.F("title", nr.StringType()),
+		))),
+	)))
+	m := &mapping.Mapping{
+		Name: "flatten", Src: src, Tgt: tgt,
+		For: []mapping.Gen{
+			mapping.FromRoot("a", "Authors"),
+			mapping.FromParent("p", "a", "Papers"),
+		},
+		Exists: []mapping.Gen{mapping.FromRoot("u", "Pubs")},
+		Where: []mapping.Eq{
+			{L: mapping.E("a", "name"), R: mapping.E("u", "author")},
+			{L: mapping.E("p", "title"), R: mapping.E("u", "title")},
+		},
+	}
+	authors := src.ByPath(nr.ParsePath("Authors"))
+	papers := src.ByPath(nr.ParsePath("Authors.Papers"))
+	in := instance.New(src)
+	r1 := instance.NewSetRef("SKPapers", instance.C("alice"))
+	r2 := instance.NewSetRef("SKPapers", instance.C("bob"))
+	in.InsertTop(authors, instance.NewTuple(authors).Put("name", instance.C("alice")).Put("Papers", r1))
+	in.InsertTop(authors, instance.NewTuple(authors).Put("name", instance.C("bob")).Put("Papers", r2))
+	in.Insert(papers, r1, instance.NewTuple(papers).Put("title", instance.C("P1")))
+	in.Insert(papers, r1, instance.NewTuple(papers).Put("title", instance.C("P2")))
+	in.Insert(papers, r2, instance.NewTuple(papers).Put("title", instance.C("P3")))
+
+	out := chase.MustChase(in, m)
+	pubs := tgt.ByPath(nr.ParsePath("Pubs"))
+	if got := out.Top(pubs).Len(); got != 3 {
+		t.Fatalf("Pubs has %d tuples, want 3:\n%s", got, out)
+	}
+	ok, err := chase.IsSolution(in, out, m)
+	if err != nil || !ok {
+		t.Errorf("flattened result is not a solution: %v", err)
+	}
+}
+
+func TestAssignmentsJoinOrder(t *testing.T) {
+	// m2 joins three relations; the Fig. 2 instance admits exactly two
+	// satisfying assignments (one per IBM project).
+	f := scenarios.NewFigure1(false)
+	asgs, err := chase.Assignments(f.Source, f.M2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 2 {
+		t.Fatalf("m2 has %d assignments over Fig. 2 source, want 2", len(asgs))
+	}
+	for _, a := range asgs {
+		if a["c"].Get("cname").String() != "IBM" {
+			t.Errorf("assignment bound c to %s, want IBM", a["c"])
+		}
+	}
+}
+
+func TestMissingGroupingFunctionRejected(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	m := f.M2.Clone()
+	m.SKs = nil
+	if _, err := chase.Chase(f.Source, m); err == nil {
+		t.Error("chase accepted a mapping without grouping functions for nested sets")
+	}
+}
+
+func TestGroupingFunctionControlsNesting(t *testing.T) {
+	// With SKProjects(cname), both IBM projects land in one set.
+	f := scenarios.NewFigure1(false)
+	d := f.M2.WithSK("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	out := chase.MustChase(f.Source, d)
+	projs := f.Tgt.ByPath(nr.ParsePath("Orgs.Projects"))
+	occs := out.Occurrences(projs)
+	if len(occs) != 1 {
+		t.Fatalf("%d project sets, want 1", len(occs))
+	}
+	if occs[0].Len() != 2 {
+		t.Errorf("project set has %d tuples, want 2 (DBSearch and WebSearch together)", occs[0].Len())
+	}
+	if got := occs[0].ID.String(); got != "SKProjects(IBM)" {
+		t.Errorf("SetID = %s, want SKProjects(IBM)", got)
+	}
+}

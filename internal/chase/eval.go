@@ -1,0 +1,161 @@
+// Package chase implements the chase of a source instance with a set
+// of schema mappings (Fagin et al., TCS 2005; Popa et al., VLDB 2002),
+// producing the canonical universal solution. Labeled nulls and SetIDs
+// are minted as Skolem terms, so the chase is deterministic: chasing
+// the same instance twice yields the identical target instance, and
+// the union over mappings deduplicates tuples exactly as in Fig. 2 of
+// the paper.
+package chase
+
+import (
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// assignment binds each for-variable to a source tuple.
+type assignment map[string]*instance.Tuple
+
+// evaluator enumerates the satisfying assignments of a mapping's for
+// clause over a source instance, using hash indexes for join
+// predicates on top-level sets.
+type evaluator struct {
+	src  *instance.Instance
+	m    *mapping.Mapping
+	info *mapping.Info
+
+	// indexes caches, per "setPath\x00attr", a map from value key to
+	// the tuples of the set's top occurrence carrying that value.
+	indexes map[string]map[string][]*instance.Tuple
+
+	// joinAt[i] lists the equality predicates that become checkable
+	// once generator i is bound (both variables bound at or before i).
+	joinAt [][]mapping.Eq
+}
+
+func newEvaluator(src *instance.Instance, m *mapping.Mapping) (*evaluator, error) {
+	info, err := m.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	e := &evaluator{src: src, m: m, info: info, indexes: make(map[string]map[string][]*instance.Tuple)}
+	pos := make(map[string]int, len(m.For))
+	for i, g := range m.For {
+		pos[g.Var] = i
+	}
+	e.joinAt = make([][]mapping.Eq, len(m.For))
+	for _, q := range m.ForSat {
+		i, j := pos[q.L.Var], pos[q.R.Var]
+		at := i
+		if j > at {
+			at = j
+		}
+		e.joinAt[at] = append(e.joinAt[at], q)
+	}
+	return e, nil
+}
+
+// each invokes fn for every assignment satisfying the for clause.
+func (e *evaluator) each(fn func(assignment) error) error {
+	return e.enumerate(0, make(assignment, len(e.m.For)), fn)
+}
+
+func (e *evaluator) enumerate(i int, asg assignment, fn func(assignment) error) error {
+	if i >= len(e.m.For) {
+		return fn(asg)
+	}
+	g := e.m.For[i]
+	for _, t := range e.candidates(i, g, asg) {
+		asg[g.Var] = t
+		ok := true
+		for _, q := range e.joinAt[i] {
+			if !instance.SameValue(asg[q.L.Var].Get(q.L.Attr), asg[q.R.Var].Get(q.R.Attr)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := e.enumerate(i+1, asg, fn); err != nil {
+				return err
+			}
+		}
+		delete(asg, g.Var)
+	}
+	return nil
+}
+
+// candidates returns the tuples generator i may bind to, narrowed by
+// one indexed join predicate when available.
+func (e *evaluator) candidates(i int, g mapping.Gen, asg assignment) []*instance.Tuple {
+	st := e.info.SrcVars[g.Var]
+	if g.Parent != "" {
+		parent := asg[g.Parent]
+		ref, _ := parent.Get(g.Field).(*instance.SetRef)
+		if ref == nil {
+			return nil
+		}
+		occ := e.src.Set(ref)
+		if occ == nil {
+			return nil
+		}
+		return occ.Tuples()
+	}
+	// Top-level set: try an equality that joins this generator to an
+	// already-bound variable, and probe the index with it.
+	for _, q := range e.joinAt[i] {
+		var mine, other mapping.Expr
+		switch {
+		case q.L.Var == g.Var && q.R.Var != g.Var:
+			mine, other = q.L, q.R
+		case q.R.Var == g.Var && q.L.Var != g.Var:
+			mine, other = q.R, q.L
+		default:
+			continue
+		}
+		bound := asg[other.Var]
+		if bound == nil {
+			continue
+		}
+		v := bound.Get(other.Attr)
+		if v == nil {
+			return nil
+		}
+		return e.index(st, mine.Attr)[v.Key()]
+	}
+	return e.src.Top(st).Tuples()
+}
+
+func (e *evaluator) index(st *nr.SetType, attr string) map[string][]*instance.Tuple {
+	key := st.Path.String() + "\x00" + attr
+	if idx, ok := e.indexes[key]; ok {
+		return idx
+	}
+	idx := make(map[string][]*instance.Tuple)
+	for _, t := range e.src.Top(st).Tuples() {
+		if v := t.Get(attr); v != nil {
+			idx[v.Key()] = append(idx[v.Key()], t)
+		}
+	}
+	e.indexes[key] = idx
+	return idx
+}
+
+// Assignments returns all satisfying assignments of m's for clause
+// over src (copied maps, safe to retain). Exported for the query
+// engine's and wizards' reuse in tests.
+func Assignments(src *instance.Instance, m *mapping.Mapping) ([]map[string]*instance.Tuple, error) {
+	e, err := newEvaluator(src, m)
+	if err != nil {
+		return nil, err
+	}
+	var out []map[string]*instance.Tuple
+	err = e.each(func(a assignment) error {
+		cp := make(map[string]*instance.Tuple, len(a))
+		for k, v := range a {
+			cp[k] = v
+		}
+		out = append(out, cp)
+		return nil
+	})
+	return out, err
+}

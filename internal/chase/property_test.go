@@ -1,0 +1,140 @@
+package chase_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"muse/internal/chase"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/scenarios"
+)
+
+// randomSource builds a random valid Fig. 1 source instance from a
+// seed: nc companies, np projects referencing them, ne employees.
+func randomSource(f *scenarios.Figure1, seed int64) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	in := instance.New(f.Src)
+	nc, ne := r.Intn(4)+1, r.Intn(4)+1
+	names := []string{"IBM", "SBC", "HP"}
+	locs := []string{"NY", "SF"}
+	var cids, eids []string
+	for i := 0; i < nc; i++ {
+		cid := fmt.Sprintf("c%d", i)
+		cids = append(cids, cid)
+		in.MustInsertVals("Companies", cid, names[r.Intn(len(names))], locs[r.Intn(len(locs))])
+	}
+	for i := 0; i < ne; i++ {
+		eid := fmt.Sprintf("e%d", i)
+		eids = append(eids, eid)
+		in.MustInsertVals("Employees", eid, fmt.Sprintf("emp%d", r.Intn(3)), fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < r.Intn(5); i++ {
+		in.MustInsertVals("Projects", fmt.Sprintf("p%d", i), fmt.Sprintf("proj%d", r.Intn(3)),
+			cids[r.Intn(len(cids))], eids[r.Intn(len(eids))])
+	}
+	return in
+}
+
+// TestChaseIdempotentQuick: chasing twice yields identical instances
+// (Skolemized nulls make the chase deterministic).
+func TestChaseIdempotentQuick(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	prop := func(seed int64) bool {
+		in := randomSource(f, seed)
+		a := chase.MustChase(in, f.M1, f.M2, f.M3)
+		b := chase.MustChase(in, f.M1, f.M2, f.M3)
+		return a.Equal(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaseSolutionQuick: the chase result is always a solution.
+func TestChaseSolutionQuick(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	prop := func(seed int64) bool {
+		in := randomSource(f, seed)
+		out := chase.MustChase(in, f.M1, f.M2, f.M3)
+		ok, err := chase.IsSolution(in, out, f.M1, f.M2, f.M3)
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaseMonotoneQuick: a sub-instance's chase maps homomorphically
+// into the super-instance's chase (mappings are conjunctive, hence
+// monotone).
+func TestChaseMonotoneQuick(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	prop := func(seed int64) bool {
+		small := randomSource(f, seed)
+		big := small.Clone()
+		extra := randomSource(f, seed+1_000_003)
+		for _, st := range f.Src.Sets {
+			for _, tp := range extra.AllTuples(st) {
+				big.InsertTop(st, tp.Clone())
+			}
+		}
+		a := chase.MustChase(small, f.M1, f.M3)
+		b := chase.MustChase(big, f.M1, f.M3)
+		return homo.Homomorphic(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem32Quick: Thm 3.2 — with cid the key of Companies, the
+// mapping with SK({cid} ∪ W) has the same effect as SK(cid) for random
+// W over the Companies attributes and random instances (solution
+// spaces coincide iff universal solutions are homomorphically
+// equivalent).
+func TestTheorem32Quick(t *testing.T) {
+	f := scenarios.NewFigure1(true)
+	attrs := []mapping.Expr{mapping.E("c", "cname"), mapping.E("c", "location")}
+	prop := func(seed int64, mask uint8) bool {
+		in := randomSource(f, seed)
+		key := []mapping.Expr{mapping.E("c", "cid")}
+		withKey := f.M2.WithSK("SKProjects", key)
+		extended := append([]mapping.Expr{}, key...)
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				extended = append(extended, a)
+			}
+		}
+		withMore := f.M2.WithSK("SKProjects", extended)
+		a := chase.MustChase(in, withKey)
+		b := chase.MustChase(in, withMore)
+		return homo.Equivalent(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupingRefinementQuick: adding an attribute to the grouping
+// refines the partition — the coarser result maps homomorphically
+// into... actually the refined (finer) result maps onto the coarser
+// one: each finer set is contained in a coarser set. We check the
+// directional homomorphism finer → coarser on random instances.
+func TestGroupingRefinementQuick(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	prop := func(seed int64) bool {
+		in := randomSource(f, seed)
+		coarse := f.M2.WithSK("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+		fine := f.M2.WithSK("SKProjects", []mapping.Expr{mapping.E("c", "cname"), mapping.E("c", "location")})
+		a := chase.MustChase(in, fine)
+		b := chase.MustChase(in, coarse)
+		return homo.Homomorphic(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package cliogen is a from-scratch, simplified reimplementation of
+// the mapping-generation core of Clio (Popa et al., VLDB 2002), which
+// the paper uses to produce the initial mappings Muse refines. Given a
+// source schema, a target schema, their constraints, and a set of
+// attribute correspondences ("arrows"), it:
+//
+//  1. computes the logical relations (tableaux) of each schema — one
+//     per nested set, consisting of the set's ancestor chain closed
+//     under the schema's referential constraints (each constraint
+//     occurrence contributing its own variable, which is what makes
+//     ambiguity possible);
+//  2. pairs source and target tableaux that cover correspondences,
+//     keeping pairs whose root sets themselves contribute;
+//  3. emits one mapping per kept pair, turning a correspondence with
+//     several candidate source variables into an or-group (ambiguity
+//     detection "during mapping generation", Sec. IV);
+//  4. installs the default G1 grouping function on every nested target
+//     set.
+package cliogen
+
+import (
+	"fmt"
+	"strings"
+
+	"muse/internal/deps"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// Corr is one attribute correspondence (an arrow in Fig. 1): the
+// source atom SrcSet.SrcAttr populates the target atom TgtSet.TgtAttr.
+type Corr struct {
+	SrcSet  nr.Path
+	SrcAttr string
+	TgtSet  nr.Path
+	TgtAttr string
+}
+
+// C builds a correspondence from dotted paths.
+func C(srcSet, srcAttr, tgtSet, tgtAttr string) Corr {
+	return Corr{
+		SrcSet: nr.ParsePath(srcSet), SrcAttr: srcAttr,
+		TgtSet: nr.ParsePath(tgtSet), TgtAttr: tgtAttr,
+	}
+}
+
+// String renders the arrow.
+func (c Corr) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s", c.SrcSet, c.SrcAttr, c.TgtSet, c.TgtAttr)
+}
+
+// tableau is a logical relation: variables over nested sets connected
+// by nesting and referential constraints.
+type tableau struct {
+	root *nr.SetType
+	vars []tabVar
+	eqs  []mapping.Eq
+}
+
+type tabVar struct {
+	name string
+	set  *nr.SetType
+	gen  mapping.Gen
+}
+
+// varsOver returns the tableau's variables ranging over the given set.
+func (t *tableau) varsOver(st *nr.SetType) []string {
+	var out []string
+	for _, v := range t.vars {
+		if v.set == st {
+			out = append(out, v.name)
+		}
+	}
+	return out
+}
+
+func (t *tableau) hasSet(st *nr.SetType) bool { return len(t.varsOver(st)) > 0 }
+
+// Generate produces the schema mapping for the given correspondences.
+// src and tgt carry the two schemas' catalogs and constraints.
+func Generate(src, tgt *deps.Set, corrs []Corr) (*mapping.Set, error) {
+	for _, c := range corrs {
+		if err := checkCorr(src.Cat, c.SrcSet, c.SrcAttr); err != nil {
+			return nil, fmt.Errorf("cliogen: %s: %v", c, err)
+		}
+		if err := checkCorr(tgt.Cat, c.TgtSet, c.TgtAttr); err != nil {
+			return nil, fmt.Errorf("cliogen: %s: %v", c, err)
+		}
+	}
+	srcTabs, err := tableaux(src, "s")
+	if err != nil {
+		return nil, err
+	}
+	tgtTabs, err := tableaux(tgt, "t")
+	if err != nil {
+		return nil, err
+	}
+
+	var ms []*mapping.Mapping
+	n := 0
+	for _, tt := range tgtTabs {
+		for _, st := range srcTabs {
+			cov := coverage(src.Cat, tgt.Cat, st, tt, corrs)
+			if len(cov) == 0 {
+				continue
+			}
+			// The pair's roots must contribute: some covered arrow
+			// leaves the source tableau's root set and some arrow
+			// enters the target tableau's root set; otherwise a
+			// smaller pair subsumes this one. (No further subsumption:
+			// Clio keeps both m1 and m2 in Fig. 1 even though m2's
+			// tableaux and coverage contain m1's.)
+			rootSrc, rootTgt := false, false
+			for _, c := range cov {
+				if src.Cat.ByPath(c.SrcSet) == st.root {
+					rootSrc = true
+				}
+				if tgt.Cat.ByPath(c.TgtSet) == tt.root {
+					rootTgt = true
+				}
+			}
+			if !rootSrc || !rootTgt {
+				continue
+			}
+			n++
+			m, err := build(fmt.Sprintf("m%d", n), src, tgt, st, tt, cov)
+			if err != nil {
+				return nil, err
+			}
+			ms = append(ms, m)
+		}
+	}
+	return mapping.NewSet(src.Cat, tgt.Cat, ms...)
+}
+
+func checkCorr(cat *nr.Catalog, set nr.Path, attr string) error {
+	st := cat.ByPath(set)
+	if st == nil {
+		return fmt.Errorf("schema %s has no set %q", cat.Schema.Name, set)
+	}
+	if !st.HasAtom(attr) {
+		return fmt.Errorf("set %s has no atom %q", st, attr)
+	}
+	return nil
+}
+
+// tableaux builds one logical relation per nested set of the schema.
+func tableaux(d *deps.Set, prefix string) ([]*tableau, error) {
+	var out []*tableau
+	for _, st := range d.Cat.Sets {
+		t, err := buildTableau(d, st, prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// buildTableau constructs the logical relation of one nested set: its
+// ancestor chain plus the referential closure.
+func buildTableau(d *deps.Set, root *nr.SetType, prefix string) (*tableau, error) {
+	t := &tableau{root: root}
+	counter := 0
+	fresh := func(st *nr.SetType) string {
+		counter++
+		return fmt.Sprintf("%s%d%s", prefix, counter, strings.ToLower(st.Name[:1]))
+	}
+	// Ancestor chain, outermost first.
+	var chain []*nr.SetType
+	for st := root; st != nil; st = st.Parent {
+		chain = append([]*nr.SetType{st}, chain...)
+	}
+	parentVar := ""
+	for _, st := range chain {
+		name := fresh(st)
+		var g mapping.Gen
+		if parentVar == "" {
+			g = mapping.FromRoot(name, st.Path.String())
+		} else {
+			g = mapping.FromParent(name, parentVar, st.Name)
+		}
+		t.vars = append(t.vars, tabVar{name: name, set: st, gen: g})
+		parentVar = name
+	}
+	// Referential closure: each (variable, constraint) occurrence gets
+	// its own witness variable.
+	type obligation struct {
+		v   string
+		ref deps.Ref
+	}
+	done := make(map[string]bool)
+	for round := 0; round < 50; round++ {
+		var todo []obligation
+		for _, v := range t.vars {
+			for _, r := range d.RefsOf(v.set) {
+				key := v.name + "\x00" + r.Name + "\x00" + r.FromSet.String() + "->" + r.ToSet.String()
+				if !done[key] {
+					done[key] = true
+					todo = append(todo, obligation{v: v.name, ref: r})
+				}
+			}
+		}
+		if len(todo) == 0 {
+			return t, nil
+		}
+		for _, ob := range todo {
+			to := d.Cat.ByPath(ob.ref.ToSet)
+			if to == nil {
+				return nil, fmt.Errorf("cliogen: constraint %s references unknown set %s", ob.ref.Name, ob.ref.ToSet)
+			}
+			if to.Parent != nil {
+				return nil, fmt.Errorf("cliogen: constraint %s targets nested set %s; unsupported", ob.ref.Name, ob.ref.ToSet)
+			}
+			w := fresh(to)
+			t.vars = append(t.vars, tabVar{name: w, set: to, gen: mapping.FromRoot(w, to.Path.String())})
+			for i := range ob.ref.FromAttrs {
+				t.eqs = append(t.eqs, mapping.Eq{
+					L: mapping.E(ob.v, ob.ref.FromAttrs[i]),
+					R: mapping.E(w, ob.ref.ToAttrs[i]),
+				})
+			}
+		}
+	}
+	return nil, fmt.Errorf("cliogen: referential closure of %s did not terminate (cyclic constraints?)", root)
+}
+
+// coverage returns the correspondences realized by the tableau pair.
+func coverage(srcCat, tgtCat *nr.Catalog, st, tt *tableau, corrs []Corr) []Corr {
+	var out []Corr
+	for _, c := range corrs {
+		if st.hasSet(srcCat.ByPath(c.SrcSet)) && tt.hasSet(tgtCat.ByPath(c.TgtSet)) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// build assembles the mapping for one tableau pair.
+func build(name string, src, tgt *deps.Set, st, tt *tableau, cov []Corr) (*mapping.Mapping, error) {
+	m := &mapping.Mapping{Name: name, Src: src.Cat, Tgt: tgt.Cat}
+	for _, v := range st.vars {
+		m.For = append(m.For, v.gen)
+	}
+	m.ForSat = append(m.ForSat, st.eqs...)
+	for _, v := range tt.vars {
+		m.Exists = append(m.Exists, v.gen)
+	}
+	m.ExistsSat = append(m.ExistsSat, tt.eqs...)
+
+	// One where-clause entry per (target variable, target attribute):
+	// a plain equality when a single source candidate feeds it, an
+	// or-group when several do (Sec. IV: ambiguity arises when a
+	// referenced set occurs under several roles).
+	type slot struct {
+		tgtVar, tgtAttr string
+	}
+	alts := make(map[slot][]mapping.Expr)
+	var order []slot
+	for _, c := range cov {
+		srcVars := st.varsOver(src.Cat.ByPath(c.SrcSet))
+		tgtVars := tt.varsOver(tgt.Cat.ByPath(c.TgtSet))
+		if len(srcVars) == 0 || len(tgtVars) == 0 {
+			continue
+		}
+		// Multiple target roles are resolved to the first (Clio's
+		// behaviour for the common case); multiple source roles become
+		// alternatives.
+		s := slot{tgtVar: tgtVars[0], tgtAttr: c.TgtAttr}
+		if _, seen := alts[s]; !seen {
+			order = append(order, s)
+		}
+		for _, sv := range srcVars {
+			alts[s] = append(alts[s], mapping.E(sv, c.SrcAttr))
+		}
+	}
+	for _, s := range order {
+		es := dedupe(alts[s])
+		target := mapping.Expr{Var: s.tgtVar, Attr: s.tgtAttr}
+		if len(es) == 1 {
+			m.Where = append(m.Where, mapping.Eq{L: es[0], R: target})
+		} else {
+			m.OrGroups = append(m.OrGroups, mapping.OrGroup{Target: target, Alts: es})
+		}
+	}
+	if err := m.AddDefaultSKs(); err != nil {
+		return nil, err
+	}
+	if _, err := m.Analyze(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func dedupe(es []mapping.Expr) []mapping.Expr {
+	seen := make(map[mapping.Expr]bool, len(es))
+	var out []mapping.Expr
+	for _, e := range es {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package core_test
+
+import (
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/deps"
+	"muse/internal/designer"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/scenarios"
+)
+
+// These tests cover the FD extension of Sec. III-C: with P → Q in the
+// source, including P in the grouping makes Q inconsequential, and
+// Muse-G skips Q's question.
+
+// TestFDSkipsImpliedAttribute: with cname → location, a designer
+// confirming cname is never asked about location.
+func TestFDSkipsImpliedAttribute(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	sd := deps.NewSet(f.Src)
+	sd.MustAddRef("f1", "Projects", []string{"cid"}, "Companies", []string{"cid"})
+	sd.MustAddRef("f2", "Projects", []string{"manager"}, "Employees", []string{"eid"})
+	sd.MustAddFD("Companies", []string{"cname"}, []string{"location"})
+
+	w := core.NewGroupingWizard(sd, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	rec := &recordingDesigner{inner: oracle}
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range rec.questions {
+		if q.Probe.String() == "c.location" {
+			t.Error("location was probed although cname → location makes it inconsequential")
+		}
+	}
+	// The result has the same effect as SK(cname, location) — the FD
+	// guarantees it (generalized Thm 3.2).
+	want := chase.MustChase(f.Source, f.M2.WithSK("SKProjects",
+		[]mapping.Expr{mapping.E("c", "cname"), mapping.E("c", "location")}))
+	got := chase.MustChase(f.Source, out)
+	if !homo.Equivalent(want, got) {
+		t.Errorf("designed %s not equivalent to SK(cname, location) under the FD", out.SKFor("SKProjects").SK)
+	}
+}
+
+// TestFDKeepsExamplesValid: every probe example satisfies the FD.
+func TestFDKeepsExamplesValid(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	sd := deps.NewSet(f.Src)
+	sd.MustAddRef("f1", "Projects", []string{"cid"}, "Companies", []string{"cid"})
+	sd.MustAddRef("f2", "Projects", []string{"manager"}, "Employees", []string{"eid"})
+	sd.MustAddFD("Companies", []string{"cname"}, []string{"location"})
+	sd.MustAddFD("Employees", []string{"ename"}, []string{"contact"})
+
+	w := core.NewGroupingWizard(sd, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "location")})
+	rec := &recordingDesigner{inner: oracle}
+	if _, err := w.DesignSK(f.M2, "SKProjects", rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.questions) == 0 {
+		t.Fatal("no questions asked")
+	}
+	for _, q := range rec.questions {
+		if v := sd.Check(q.Source); len(v) != 0 {
+			t.Errorf("probe on %s violates %v", q.Probe, v[0])
+		}
+	}
+}
+
+// TestFDTransitiveClosure: cid → cname and cname → location chain; a
+// designer confirming cid is asked nothing about the other Companies
+// attributes.
+func TestFDTransitiveClosure(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	sd := deps.NewSet(f.Src)
+	sd.MustAddRef("f1", "Projects", []string{"cid"}, "Companies", []string{"cid"})
+	sd.MustAddRef("f2", "Projects", []string{"manager"}, "Employees", []string{"eid"})
+	sd.MustAddFD("Companies", []string{"cid"}, []string{"cname"})
+	sd.MustAddFD("Companies", []string{"cname"}, []string{"location"})
+
+	w := core.NewGroupingWizard(sd, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cid")})
+	rec := &recordingDesigner{inner: oracle}
+	if _, err := w.DesignSK(f.M2, "SKProjects", rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range rec.questions {
+		if q.Probe.String() == "c.cname" || q.Probe.String() == "c.location" {
+			t.Errorf("%s probed although determined by confirmed cid", q.Probe)
+		}
+	}
+}
+
+// TestInstanceOnlyMode: in instance-only design (Sec. III-C), an
+// attribute that is constant per group in the actual instance is not
+// probed even though it would matter on other instances.
+func TestInstanceOnlyMode(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	// In this instance, location is determined by cname (IBM→NY,
+	// SBC→SF) although no FD is declared.
+	f.Source = newCompInstance(f, [][3]string{
+		{"11", "IBM", "NY"}, {"12", "IBM", "NY"}, {"14", "SBC", "SF"},
+	})
+
+	w := core.NewGroupingWizard(f.SrcDeps, f.Source)
+	w.InstanceOnly = true
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	rec := &recordingDesigner{inner: oracle}
+	if _, err := w.DesignSK(f.M2, "SKProjects", rec); err != nil {
+		t.Fatal(err)
+	}
+	// cname is probed first among Companies attributes... order is
+	// cid, cname, location; after cname is confirmed, location is
+	// data-implied and skipped.
+	for _, q := range rec.questions {
+		if q.Probe.String() == "c.location" {
+			t.Error("instance-only mode probed a data-implied attribute")
+		}
+	}
+	// Without instance-only mode the attribute IS probed.
+	w2 := core.NewGroupingWizard(f.SrcDeps, f.Source)
+	rec2 := &recordingDesigner{inner: oracle}
+	if _, err := w2.DesignSK(f.M2, "SKProjects", rec2); err != nil {
+		t.Fatal(err)
+	}
+	probed := false
+	for _, q := range rec2.questions {
+		if q.Probe.String() == "c.location" {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Error("full mode should probe location")
+	}
+}
+
+// newCompInstance rebuilds the Fig. 1 source with the given Companies
+// rows and matching projects/employees.
+func newCompInstance(f *scenarios.Figure1, companies [][3]string) *instance.Instance {
+	in := instance.New(f.Src)
+	for i, c := range companies {
+		in.MustInsertVals("Companies", c[0], c[1], c[2])
+		eid := "e" + c[0]
+		in.MustInsertVals("Projects", "p"+c[0], "proj"+itoa(i), c[0], eid)
+		in.MustInsertVals("Employees", eid, "emp"+itoa(i), "x"+c[0])
+	}
+	return in
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+// TestFDDerivedMultiKey: two candidate keys arising purely from FDs
+// (cid ↔ cname mutually determining) trigger the multi-key protocol —
+// one question — even though no second key is declared (Sec. III-C's
+// single-keyed characterization).
+func TestFDDerivedMultiKey(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	sd := deps.NewSet(f.Src)
+	sd.MustAddRef("f1", "Projects", []string{"cid"}, "Companies", []string{"cid"})
+	sd.MustAddRef("f2", "Projects", []string{"manager"}, "Employees", []string{"eid"})
+	sd.MustAddFD("Companies", []string{"cid"}, []string{"cname", "location"})
+	sd.MustAddFD("Companies", []string{"cname"}, []string{"cid"})
+
+	w := core.NewGroupingWizard(sd, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cid")})
+	rec := &recordingDesigner{inner: oracle}
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.questions) != 1 || rec.questions[0].Kind != core.QuestionKeyGrouping {
+		t.Fatalf("expected the single multi-key question, got %d questions", len(rec.questions))
+	}
+	want := chase.MustChase(f.Source, f.M2.WithSK("SKProjects", []mapping.Expr{mapping.E("c", "cid")}))
+	got := chase.MustChase(f.Source, out)
+	if !homo.Equivalent(want, got) {
+		t.Errorf("FD-derived multi-key result %s not equivalent to SK(cid)", out.SKFor("SKProjects").SK)
+	}
+}

@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"muse/internal/deps"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// grantsScenario extends the Fig. 1 shape with a second nesting level
+// (Grants under Projects), exercising the BFS design order of
+// Sec. III Step 1.
+type grantsScenario struct {
+	src, tgt *nr.Catalog
+	srcDeps  *deps.Set
+	m        *mapping.Mapping
+}
+
+func newGrantsScenario() *grantsScenario {
+	src := nr.MustCatalog(nr.MustSchema("CompDB", nr.Record(
+		nr.F("Companies", nr.SetOf(nr.Record(
+			nr.F("cid", nr.IntType()),
+			nr.F("cname", nr.StringType()),
+		))),
+		nr.F("Projects", nr.SetOf(nr.Record(
+			nr.F("pname", nr.StringType()),
+			nr.F("cid", nr.IntType()),
+		))),
+		nr.F("Grants", nr.SetOf(nr.Record(
+			nr.F("gid", nr.StringType()),
+			nr.F("pname", nr.StringType()),
+			nr.F("amount", nr.IntType()),
+		))),
+	)))
+	tgt := nr.MustCatalog(nr.MustSchema("OrgDB", nr.Record(
+		nr.F("Orgs", nr.SetOf(nr.Record(
+			nr.F("oname", nr.StringType()),
+			nr.F("Projects", nr.SetOf(nr.Record(
+				nr.F("pname", nr.StringType()),
+				nr.F("Grants", nr.SetOf(nr.Record(
+					nr.F("gid", nr.StringType()),
+					nr.F("amount", nr.IntType()),
+				))),
+			))),
+		))),
+	)))
+	sd := deps.NewSet(src)
+	sd.MustAddRef("r1", "Projects", []string{"cid"}, "Companies", []string{"cid"})
+	sd.MustAddRef("r2", "Grants", []string{"pname"}, "Projects", []string{"pname"})
+
+	m := &mapping.Mapping{
+		Name: "mg", Src: src, Tgt: tgt,
+		For: []mapping.Gen{
+			mapping.FromRoot("c", "Companies"),
+			mapping.FromRoot("p", "Projects"),
+			mapping.FromRoot("g", "Grants"),
+		},
+		ForSat: []mapping.Eq{
+			{L: mapping.E("p", "cid"), R: mapping.E("c", "cid")},
+			{L: mapping.E("g", "pname"), R: mapping.E("p", "pname")},
+		},
+		Exists: []mapping.Gen{
+			mapping.FromRoot("o", "Orgs"),
+			mapping.FromParent("p1", "o", "Projects"),
+			mapping.FromParent("g1", "p1", "Grants"),
+		},
+		Where: []mapping.Eq{
+			{L: mapping.E("c", "cname"), R: mapping.E("o", "oname")},
+			{L: mapping.E("p", "pname"), R: mapping.E("p1", "pname")},
+			{L: mapping.E("g", "gid"), R: mapping.E("g1", "gid")},
+			{L: mapping.E("g", "amount"), R: mapping.E("g1", "amount")},
+		},
+	}
+	if err := m.AddDefaultSKs(); err != nil {
+		panic(err)
+	}
+	if _, err := mapping.NewSet(src, tgt, m); err != nil {
+		panic(err)
+	}
+	return &grantsScenario{src: src, tgt: tgt, srcDeps: sd, m: m}
+}

@@ -1,0 +1,209 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/nr"
+	"muse/internal/scenarios"
+)
+
+// TestJoinVariantsOfM2: the outer variants of Fig. 1's m2 are exactly
+// m1 (companies alone) and m3 (employees alone).
+func TestJoinVariantsOfM2(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	variants, err := core.JoinVariants(f.M2, f.SrcDeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != 2 {
+		for _, v := range variants {
+			t.Logf("variant keep={%s}:\n%s", strings.Join(v.Keep, ","), v.Mapping)
+		}
+		t.Fatalf("m2 has %d variants, want 2 (m1 and m3)", len(variants))
+	}
+	byKeep := map[string]*core.JoinVariant{}
+	for i := range variants {
+		byKeep[strings.Join(variants[i].Keep, ",")] = &variants[i]
+	}
+	cVar, ok := byKeep["c"]
+	if !ok {
+		t.Fatal("no variant keeping {c}")
+	}
+	eVar, ok := byKeep["e"]
+	if !ok {
+		t.Fatal("no variant keeping {e}")
+	}
+	// The {c} variant has the same effect as m1 and the {e} variant the
+	// same effect as m3 on the Fig. 2 instance (and by construction on
+	// any instance).
+	if !homo.Equivalent(chase.MustChase(f.Source, cVar.Mapping), chase.MustChase(f.Source, f.M1)) {
+		t.Errorf("projection onto {c} differs from m1:\n%s", cVar.Mapping)
+	}
+	if !homo.Equivalent(chase.MustChase(f.Source, eVar.Mapping), chase.MustChase(f.Source, f.M3)) {
+		t.Errorf("projection onto {e} differs from m3:\n%s", eVar.Mapping)
+	}
+	// The {p} closure pulls in c and e (p references both), so no
+	// proper variant arises from p.
+	if _, bad := byKeep["p"]; bad {
+		t.Error("p alone is not ref-closed and must not be a variant")
+	}
+}
+
+// joinChooser records questions and applies a fixed policy.
+type joinChooser struct {
+	include   bool
+	questions []*core.JoinQuestion
+}
+
+func (j *joinChooser) ChooseJoin(q *core.JoinQuestion) (bool, error) {
+	j.questions = append(j.questions, q)
+	return j.include, nil
+}
+
+// TestDesignJoinsOuter: a designer keeping the outer semantics ends up
+// with m2 plus both projections; the dangling example (Brown, who
+// manages nothing) is drawn from the real instance and differentiates
+// the scenarios.
+func TestDesignJoinsOuter(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	d := &joinChooser{include: true}
+	out, err := w.DesignJoins(f.M2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("outer selection produced %d mappings, want 3", len(out))
+	}
+	if len(d.questions) != 2 {
+		t.Fatalf("%d join questions, want 2", len(d.questions))
+	}
+	for _, q := range d.questions {
+		if homo.Isomorphic(q.WithVariant, q.WithoutVariant) {
+			t.Error("join question scenarios are indistinguishable")
+		}
+		if v := f.SrcDeps.Check(q.Source); len(v) != 0 {
+			t.Errorf("dangling example invalid: %v", v[0])
+		}
+	}
+	// The employees variant's real dangling example must contain an
+	// employee who manages no project (e16 Brown in Fig. 2).
+	var eQ *core.JoinQuestion
+	for _, q := range d.questions {
+		if strings.Join(q.Variant.Keep, ",") == "e" {
+			eQ = q
+		}
+	}
+	if eQ == nil {
+		t.Fatal("no question for the employees variant")
+	}
+	if !eQ.Real {
+		t.Error("the Fig. 2 instance contains Brown; the example should be real")
+	}
+	emps := f.Src.ByPath(nr.ParsePath("Employees"))
+	tuples := eQ.Source.AllTuples(emps)
+	if len(tuples) != 1 || tuples[0].Get("ename").String() != "Brown" {
+		t.Errorf("dangling example should be Brown, got %v", tuples)
+	}
+}
+
+// TestDesignJoinsInner: a designer keeping inner semantics gets m2
+// alone, and unmatched employees disappear from the target.
+func TestDesignJoinsInner(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	d := &joinChooser{include: false}
+	out, err := w.DesignJoins(f.M2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("inner selection produced %d mappings, want 1", len(out))
+	}
+	target := chase.MustChase(f.Source, out...)
+	emps := f.Tgt.ByPath(nr.ParsePath("Employees"))
+	for _, e := range target.Top(emps).Tuples() {
+		if e.Get("ename").String() == "Brown" {
+			t.Error("inner join still exchanged the unmatched employee")
+		}
+	}
+}
+
+// TestDesignJoinsSyntheticFallback: without Brown in the data (every
+// employee manages something), the dangling example is synthetic.
+func TestDesignJoinsSyntheticFallback(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	src := instance.New(f.Src)
+	src.MustInsertVals("Companies", "111", "IBM", "Almaden")
+	src.MustInsertVals("Projects", "p1", "DBSearch", "111", "e14")
+	src.MustInsertVals("Employees", "e14", "Smith", "x2292")
+	w := core.NewDisambiguationWizard(f.SrcDeps, src)
+	d := &joinChooser{include: true}
+	if _, err := w.DesignJoins(f.M2, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range d.questions {
+		if q.Real {
+			t.Errorf("variant {%s}: expected synthetic dangling example", strings.Join(q.Variant.Keep, ","))
+		}
+	}
+}
+
+// TestProjectValidation: projections that export nothing are rejected.
+func TestProjectValidation(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	if _, err := core.Project(f.M2, []string{"p"}); err == nil {
+		// p alone exports only pname — actually p.pname = p1.pname is
+		// kept, so this succeeds; project onto nothing instead.
+		t.Log("projection onto {p} exports pname; acceptable")
+	}
+	if _, err := core.Project(f.M2, nil); err == nil {
+		t.Error("empty projection accepted")
+	}
+}
+
+// TestDesignJoinsRejectsAmbiguous: join design runs after Muse-D.
+func TestDesignJoinsRejectsAmbiguous(t *testing.T) {
+	f4 := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f4.SrcDeps, f4.Source)
+	if _, err := w.DesignJoins(f4.MA, &joinChooser{}); err == nil {
+		t.Error("DesignJoins accepted an ambiguous mapping")
+	}
+}
+
+// TestJoinVariantsFig4: the Fig. 4 mapping's variants export employees
+// as supervisors without a project match.
+func TestJoinVariantsFig4(t *testing.T) {
+	f4 := scenarios.NewFigure4()
+	// Under the [manager-name, tech-lead-email] interpretation both
+	// employee roles export something, so each is a variant; p pulls in
+	// both employees (full join) and contributes none.
+	m := f4.MA.Interpretation([]int{0, 1})
+	variants, err := core.JoinVariants(m, f4.SrcDeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != 2 {
+		t.Fatalf("%d variants, want 2", len(variants))
+	}
+	for _, v := range variants {
+		if len(v.Keep) != 1 || !strings.HasPrefix(v.Keep[0], "e") {
+			t.Errorf("unexpected variant keep=%v", v.Keep)
+		}
+	}
+	// Under [manager-name, manager-email], e2 exports nothing: only
+	// the e1 variant remains.
+	m0 := f4.MA.Interpretation([]int{0, 0})
+	variants0, err := core.JoinVariants(m0, f4.SrcDeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants0) != 1 || variants0[0].Keep[0] != "e1" {
+		t.Errorf("expected only the e1 variant, got %v", variants0)
+	}
+}

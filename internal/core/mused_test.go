@@ -1,0 +1,293 @@
+package core_test
+
+import (
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/designer"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+	"muse/internal/scenarios"
+)
+
+// recordingChoiceDesigner wraps an oracle and records the question.
+type recordingChoiceDesigner struct {
+	inner    core.DisambiguationDesigner
+	question *core.ChoiceQuestion
+}
+
+func (r *recordingChoiceDesigner) SelectValues(q *core.ChoiceQuestion) ([][]int, error) {
+	r.question = q
+	return r.inner.SelectValues(q)
+}
+
+// TestFig4Disambiguation reproduces Sec. IV: the ambiguous
+// supervisor/email mapping, a single example with one project and two
+// employees, two choices with two values each, and the translation of
+// the picks (Anna for supervisor, jon@ibm for email) into the
+// corresponding interpretation.
+func TestFig4Disambiguation(t *testing.T) {
+	f := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	// The designer picks Anna (alternative 1: tech lead's name) for
+	// supervisor and jon@ibm (alternative 0: manager's contact) for
+	// email — the Fig. 4(b) walkthrough.
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{1}, {0}}}
+	rec := &recordingChoiceDesigner{inner: oracle}
+
+	out, err := w.Disambiguate(f.MA, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("Disambiguate returned %d mappings, want 1", len(out))
+	}
+	sel := out[0]
+	if sel.Ambiguous() {
+		t.Error("selected interpretation still ambiguous")
+	}
+	found := 0
+	for _, e := range sel.Where {
+		s := e.String()
+		if s == "e2.ename = p1.supervisor" || s == "e1.contact = p1.email" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("selected interpretation missing the chosen equalities:\n%s", sel)
+	}
+
+	// Question shape: the example has 3 tuples (one per for-clause
+	// variable) and 2 choices with 2 values each.
+	q := rec.question
+	if q.Source.TupleCount() != 3 {
+		t.Errorf("example has %d tuples, want 3 (one per x ∈ X clause)", q.Source.TupleCount())
+	}
+	if len(q.Choices) != 2 {
+		t.Fatalf("%d choices, want 2", len(q.Choices))
+	}
+	for _, ch := range q.Choices {
+		if len(ch.Values) != 2 {
+			t.Errorf("choice %s has %d values, want 2", ch.Element, len(ch.Values))
+		}
+	}
+	// The Fig. 4(b) instance exists in the real source, so the example
+	// is real: supervisor choices are Jon and Anna.
+	if !q.Real {
+		t.Error("example should be drawn from the real instance")
+	}
+	sup := q.Choices[0]
+	if sup.Element.String() != "p1.supervisor" {
+		t.Errorf("first choice element = %s", sup.Element)
+	}
+	vals := map[string]bool{sup.Values[0].String(): true, sup.Values[1].String(): true}
+	if !vals["Jon"] || !vals["Anna"] {
+		t.Errorf("supervisor choices = %v, want {Jon, Anna}", vals)
+	}
+}
+
+// TestMuseDPairwiseDifferent: the constructed example differentiates
+// every pair of interpretations — chasing it with distinct
+// interpretations yields non-isomorphic targets (the paper's core
+// property of Muse-D examples).
+func TestMuseDPairwiseDifferent(t *testing.T) {
+	f := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f.SrcDeps, nil) // synthetic example
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{0}, {0}}}
+	rec := &recordingChoiceDesigner{inner: oracle}
+	if _, err := w.Disambiguate(f.MA, rec); err != nil {
+		t.Fatal(err)
+	}
+	ie := rec.question.Source
+	interps := f.MA.Interpretations()
+	targets := make([]*instance.Instance, len(interps))
+	for i, m := range interps {
+		targets[i] = chase.MustChase(ie, m)
+	}
+	for i := 0; i < len(targets); i++ {
+		for j := i + 1; j < len(targets); j++ {
+			if homo.Isomorphic(targets[i], targets[j]) {
+				t.Errorf("interpretations %s and %s indistinguishable on the example",
+					interps[i].Name, interps[j].Name)
+			}
+		}
+	}
+}
+
+// TestMuseDSyntheticFallback: with no real instance (or one lacking
+// the inequality pattern), Muse-D presents its own example.
+func TestMuseDSyntheticFallback(t *testing.T) {
+	f := scenarios.NewFigure4()
+	// A source where manager and tech lead are the same person with the
+	// same name/contact: the inequalities cannot be satisfied.
+	poor := instance.New(f.Src)
+	poor.MustInsertVals("Projects", "P1", "DB", "e4", "e4")
+	poor.MustInsertVals("Employees", "e4", "Jon", "jon@ibm")
+
+	w := core.NewDisambiguationWizard(f.SrcDeps, poor)
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{0}, {1}}}
+	rec := &recordingChoiceDesigner{inner: oracle}
+	out, err := w.Disambiguate(f.MA, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.question.Real {
+		t.Error("expected a synthetic example on this instance")
+	}
+	if len(out) != 1 || out[0].Ambiguous() {
+		t.Error("disambiguation failed on synthetic example")
+	}
+	// Synthetic choice values are still pairwise distinct per group.
+	for _, ch := range rec.question.Choices {
+		if instance.SameValue(ch.Values[0], ch.Values[1]) {
+			t.Errorf("choice %s has indistinct values", ch.Element)
+		}
+	}
+}
+
+// TestMuseDMultiSelect: selecting both supervisors yields two
+// interpretations (Sec. IV "More options").
+func TestMuseDMultiSelect(t *testing.T) {
+	f := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{0, 1}, {0}}}
+	out, err := w.Disambiguate(f.MA, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("multi-select returned %d mappings, want 2", len(out))
+	}
+	// Chasing with both keeps both supervisors in the target.
+	target := chase.MustChase(f.Source, out...)
+	projs := f.Tgt.ByPath(nr.ParsePath("Projects"))
+	if got := target.Top(projs).Len(); got != 2 {
+		t.Errorf("union of interpretations produced %d project tuples, want 2", got)
+	}
+}
+
+// TestMuseDUnambiguousPassThrough: a mapping without or-groups is
+// returned unchanged and costs no questions.
+func TestMuseDUnambiguousPassThrough(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	out, err := w.Disambiguate(f.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Name != "m1" {
+		t.Error("unambiguous mapping not passed through")
+	}
+	if w.Stats.TotalQuestions() != 0 {
+		t.Error("unambiguous mapping cost a question")
+	}
+}
+
+// TestMuseDPartialTargetHasNulls: the shown partial target leaves the
+// ambiguous slots as labeled nulls.
+func TestMuseDPartialTargetHasNulls(t *testing.T) {
+	f := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{0}, {0}}}
+	rec := &recordingChoiceDesigner{inner: oracle}
+	if _, err := w.Disambiguate(f.MA, rec); err != nil {
+		t.Fatal(err)
+	}
+	projs := f.Tgt.ByPath(nr.ParsePath("Projects"))
+	tuples := rec.question.Target.Top(projs).Tuples()
+	if len(tuples) != 1 {
+		t.Fatalf("partial target has %d project tuples, want 1", len(tuples))
+	}
+	if !instance.IsNull(tuples[0].Get("supervisor")) || !instance.IsNull(tuples[0].Get("email")) {
+		t.Errorf("ambiguous slots are not nulls: %s", tuples[0])
+	}
+	if tuples[0].Get("pname").String() != "DB" {
+		t.Errorf("unambiguous slot lost its value: %s", tuples[0])
+	}
+}
+
+// TestMuseDStats: the Sec. VI Muse-D table columns.
+func TestMuseDStats(t *testing.T) {
+	f := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{0}, {0}}}
+	if _, err := w.Disambiguate(f.MA, oracle); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stats.Mappings) != 1 {
+		t.Fatalf("stats records = %d, want 1", len(w.Stats.Mappings))
+	}
+	rec := w.Stats.Mappings[0]
+	if rec.Alternatives != 4 || rec.Questions != 1 || rec.SourceTuples != 3 || rec.ChoiceValues != 2 {
+		t.Errorf("stats = %+v", rec)
+	}
+	if w.Stats.TotalAlternatives() != 4 || w.Stats.TotalQuestions() != 1 {
+		t.Error("totals wrong")
+	}
+}
+
+// TestDisambiguateAll: a set mixing ambiguous and unambiguous
+// mappings.
+func TestDisambiguateAll(t *testing.T) {
+	f := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{1}, {1}}}
+	out, err := w.DisambiguateAll(f.Set, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Mappings) != 1 {
+		t.Fatalf("DisambiguateAll returned %d mappings, want 1", len(out.Mappings))
+	}
+	if len(out.Ambiguous()) != 0 {
+		t.Error("output still has ambiguous mappings")
+	}
+	// The result chases cleanly.
+	if _, err := chase.Chase(f.Source, out.Mappings...); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOracleRejectsBadSelections: selection arity mismatches surface
+// as errors.
+func TestOracleRejectsBadSelections(t *testing.T) {
+	f := scenarios.NewFigure4()
+	w := core.NewDisambiguationWizard(f.SrcDeps, nil)
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{0}}} // one group missing
+	if _, err := w.Disambiguate(f.MA, oracle); err == nil {
+		t.Error("bad selection arity accepted")
+	}
+}
+
+// TestEquivalentAlternativesShareValues: if two alternatives are
+// forced equal by the satisfy clause, Muse-D still works — their
+// choice values coincide and either index selects the same semantics.
+func TestEquivalentAlternativesShareValues(t *testing.T) {
+	f := scenarios.NewFigure4()
+	// A mapping where both or-alternatives for supervisor refer to the
+	// same employee variable attribute.
+	m := f.MA.Clone()
+	m.Name = "meq"
+	m.OrGroups = []mapping.OrGroup{
+		{Target: mapping.E("p1", "supervisor"), Alts: []mapping.Expr{mapping.E("e1", "ename"), mapping.E("e1", "ename")}},
+	}
+	if _, err := mapping.NewSet(f.Src, f.Tgt, m); err != nil {
+		t.Fatal(err)
+	}
+	w := core.NewDisambiguationWizard(f.SrcDeps, nil)
+	oracle := &designer.ChoiceOracle{Selections: [][]int{{0}}}
+	rec := &recordingChoiceDesigner{inner: oracle}
+	out, err := w.Disambiguate(m, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !instance.SameValue(rec.question.Choices[0].Values[0], rec.question.Choices[0].Values[1]) {
+		t.Error("equivalent alternatives should show the same value")
+	}
+	if len(out) != 1 {
+		t.Errorf("%d mappings, want 1", len(out))
+	}
+}

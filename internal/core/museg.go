@@ -1,0 +1,505 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"muse/internal/chase"
+	"muse/internal/deps"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+)
+
+// GroupingWizard is Muse-G: it designs the grouping functions of a
+// mapping from the designer's answers to two-scenario questions.
+type GroupingWizard struct {
+	// SrcDeps holds the source keys/FDs/referential constraints used
+	// for question reduction (may be nil: the basic Sec. III-A
+	// algorithm).
+	SrcDeps *deps.Set
+	// Real is the actual source instance examples are drawn from when
+	// possible (may be nil: always synthetic).
+	Real *instance.Instance
+	// Timeout bounds each real-example retrieval; past it Muse-G falls
+	// back to a synthetic example (Sec. VI). Zero means no bound.
+	Timeout time.Duration
+	// InstanceOnly, when set, designs grouping only for the Real
+	// instance: attributes whose inclusion is inconsequential on Real
+	// are skipped (Sec. III-C "Designing grouping functions only for
+	// the instance I").
+	InstanceOnly bool
+	// Prefetch, when set, retrieves the next probe's real example in
+	// the background while the designer considers the current question
+	// (the "think time" optimization of Sec. VI).
+	Prefetch bool
+	prefetch *exampleCache
+	// Stats accumulates per-grouping-function effort.
+	Stats Stats
+}
+
+// NewGroupingWizard constructs a wizard with the given constraints and
+// real instance (both optional).
+func NewGroupingWizard(srcDeps *deps.Set, real *instance.Instance) *GroupingWizard {
+	return &GroupingWizard{SrcDeps: srcDeps, Real: real, Timeout: 500 * time.Millisecond}
+}
+
+// DesignMapping designs every grouping function of m, in breadth-first
+// order of the target sets (Sec. III Step 1), and returns the refined
+// mapping.
+func (w *GroupingWizard) DesignMapping(m *mapping.Mapping, d GroupingDesigner) (*mapping.Mapping, error) {
+	cur := m
+	for _, fn := range w.skOrder(m) {
+		var err error
+		cur, err = w.DesignSK(cur, fn, d)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// skOrder returns the mapping's grouping-function names ordered by the
+// breadth-first position of their target sets.
+func (w *GroupingWizard) skOrder(m *mapping.Mapping) []string {
+	rank := func(fn string) int {
+		for i, st := range m.Tgt.Sets {
+			if st.SKName() == fn {
+				return i
+			}
+		}
+		return len(m.Tgt.Sets)
+	}
+	var fns []string
+	for _, a := range m.SKs {
+		fns = append(fns, a.SK.Fn)
+	}
+	// Insertion sort by rank; SK lists are tiny.
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && rank(fns[j]) < rank(fns[j-1]); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+	return fns
+}
+
+// DesignSK designs the grouping function named fn of mapping m and
+// returns m with the designed arguments installed.
+func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesigner) (*mapping.Mapping, error) {
+	if m.SKFor(fn) == nil {
+		return nil, fmt.Errorf("core: mapping %s has no grouping function %s", m.Name, fn)
+	}
+	poss := m.Poss()
+	stats := SKStats{Mapping: m.Name, SK: fn, PossSize: len(poss)}
+	imps := tableauImplications(m, w.SrcDeps)
+	keyAttrs, rest := keyCovered(m, w.SrcDeps)
+
+	var confirmed []mapping.Expr
+	candidates := append(append([]mapping.Expr{}, keyAttrs...), rest...)
+	alwaysDiffer := []mapping.Expr(nil)
+
+	if multiKeyed(m, w.SrcDeps) && len(keyAttrs) > 0 {
+		// Sec. III-B, multiple keys: one question decides between
+		// grouping by key (same effect as any superset including any
+		// key) and grouping by a subset of the non-key attributes.
+		ans, err := w.askKeyGrouping(m, fn, keyAttrs, rest, d, &stats)
+		if err != nil {
+			return nil, err
+		}
+		if ans == 1 {
+			stats.Result = keyAttrs
+			w.Stats.SKs = append(w.Stats.SKs, stats)
+			return m.WithSK(fn, keyAttrs), nil
+		}
+		// Restrict to non-key attributes; key attributes stay distinct
+		// across copies so every constructed instance satisfies all
+		// keys.
+		candidates = rest
+		alwaysDiffer = keyAttrs
+	}
+
+	// Attributes joined by satisfy equalities always carry the same
+	// value, so one probe decides the whole equality class (the c.cid
+	// probe of Fig. 3(a) also decides p.cid).
+	eqClass := newExprClasses(m.ForSat)
+	if w.Prefetch && w.prefetch == nil {
+		w.prefetch = newExampleCache()
+		defer w.prefetch.wait()
+	}
+	decidedOut := make(map[string]bool)
+	for ci, probe := range candidates {
+		if coversPoss(confirmed, poss, imps) {
+			// Thm 3.2 / Cor 3.3: everything left is inconsequential.
+			break
+		}
+		if inClosure(confirmed, probe, imps) {
+			// FD generalization of Thm 3.2: probe's membership cannot
+			// change the grouping semantics; skip the question.
+			continue
+		}
+		if decided := eqClass.anyDecided(probe, decidedOut); decided {
+			// An equality-correlate was already rejected; grouping by
+			// this attribute would have the identical (rejected) effect.
+			decidedOut[probe.String()] = true
+			continue
+		}
+		if w.InstanceOnly && w.Real != nil {
+			implied, err := w.dataImplied(m, confirmed, probe)
+			if err != nil {
+				return nil, err
+			}
+			if implied {
+				continue
+			}
+		}
+		var next *mapping.Expr
+		if ci+1 < len(candidates) {
+			next = &candidates[ci+1]
+		}
+		ans, skipped, err := w.askProbe(m, fn, poss, confirmed, decidedOut, probe, alwaysDiffer, next, d, &stats)
+		if err != nil {
+			return nil, err
+		}
+		if skipped {
+			continue
+		}
+		if ans == 1 {
+			confirmed = append(confirmed, probe)
+		} else {
+			decidedOut[probe.String()] = true
+		}
+	}
+
+	stats.Result = confirmed
+	w.Stats.SKs = append(w.Stats.SKs, stats)
+	return m.WithSK(fn, confirmed), nil
+}
+
+// askProbe builds the probe example for one attribute, obtains a real
+// or synthetic instance, chases the two scenarios, and asks the
+// designer. skipped is true when the probe turned out inconsequential
+// (no question was posed).
+func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr, next *mapping.Expr, d GroupingDesigner, stats *SKStats) (int, bool, error) {
+	tb, ok := w.probeSetup(m, poss, confirmed, decidedOut, probe, alwaysDiffer)
+	if !ok {
+		// The constraints force the probed attribute to agree whenever
+		// the confirmed ones do: its membership is inconsequential.
+		return 0, true, nil
+	}
+
+	with := append(append([]mapping.Expr{}, confirmed...), probe)
+	d1 := m.WithSK(fn, with)
+	d2 := m.WithSK(fn, confirmed)
+
+	ie, real, err := w.obtainExampleCached(tb, fn, confirmed, decidedOut, probe, alwaysDiffer, stats)
+	if err != nil {
+		return 0, false, err
+	}
+	s1, err := chase.Chase(ie, d1)
+	if err != nil {
+		return 0, false, err
+	}
+	s2, err := chase.Chase(ie, d2)
+	if err != nil {
+		return 0, false, err
+	}
+	if homo.Isomorphic(s1, s2) {
+		if real {
+			// The real example is too coincidental to differentiate the
+			// scenarios; fall back to the synthetic instance.
+			ie = tb.synthetic()
+			real = false
+			stats.RealExamples--
+			stats.SyntheticExamples++
+			s1, s2 = chase.MustChase(ie, d1), chase.MustChase(ie, d2)
+		}
+		if homo.Isomorphic(s1, s2) {
+			return 0, true, nil
+		}
+	}
+	if w.SrcDeps != nil {
+		if v := w.SrcDeps.Check(ie); len(v) > 0 {
+			return 0, false, fmt.Errorf("core: probe on %s constructed an invalid example: %v", probe, v[0])
+		}
+	}
+
+	q := &GroupingQuestion{
+		Kind: QuestionProbe, Mapping: m, SK: fn, Probe: probe,
+		Confirmed: confirmed, Source: ie, Real: real,
+		Scenario1: s1, Scenario2: s2,
+		Include1: with, Include2: confirmed,
+	}
+	// Use the designer's think time to retrieve the next probe's
+	// example speculatively, for both possible answers (Sec. VI).
+	if w.prefetch != nil && w.Real != nil && next != nil {
+		outPlus := copyDecided(decidedOut)
+		outPlus[probe.String()] = true
+		w.spawnPrefetch(m, fn, poss, with, decidedOut, *next, alwaysDiffer)
+		w.spawnPrefetch(m, fn, poss, confirmed, outPlus, *next, alwaysDiffer)
+	}
+	ans, err := d.ChooseScenario(q)
+	if err != nil {
+		return 0, false, err
+	}
+	if ans != 1 && ans != 2 {
+		return 0, false, fmt.Errorf("core: designer answered %d, want 1 or 2", ans)
+	}
+	stats.Questions++
+	return ans, false, nil
+}
+
+// askKeyGrouping poses the multi-key question: copies agree on every
+// non-key attribute and differ on every key-covered attribute, so
+// grouping by (any) key yields two nested sets and grouping by any
+// non-key subset yields one.
+func (w *GroupingWizard) askKeyGrouping(m *mapping.Mapping, fn string, keyAttrs, rest []mapping.Expr, d GroupingDesigner, stats *SKStats) (int, error) {
+	tb, ok := buildProbeTableau(m, w.SrcDeps, nil, rest, keyAttrs)
+	if !ok {
+		return 0, fmt.Errorf("core: cannot construct the multi-key question for %s: key attributes collapse", fn)
+	}
+	tb.finalize()
+
+	d1 := m.WithSK(fn, keyAttrs)
+	d2 := m.WithSK(fn, nil)
+	ie, real, err := w.obtainExample(tb, keyAttrs, stats)
+	if err != nil {
+		return 0, err
+	}
+	s1, err := chase.Chase(ie, d1)
+	if err != nil {
+		return 0, err
+	}
+	s2, err := chase.Chase(ie, d2)
+	if err != nil {
+		return 0, err
+	}
+	q := &GroupingQuestion{
+		Kind: QuestionKeyGrouping, Mapping: m, SK: fn,
+		Source: ie, Real: real, Scenario1: s1, Scenario2: s2,
+		Include1: keyAttrs, Include2: nil,
+	}
+	ans, err := d.ChooseScenario(q)
+	if err != nil {
+		return 0, err
+	}
+	if ans != 1 && ans != 2 {
+		return 0, fmt.Errorf("core: designer answered %d, want 1 or 2", ans)
+	}
+	stats.Questions++
+	return ans, nil
+}
+
+// probeSetup computes the agreement pattern of a probe (Sec. III-A) —
+// confirmed and undecided attributes agree across copies, the probed
+// attribute (and the multi-key branch's key attributes) differ,
+// decided-out attributes are unconstrained — and builds the two-copy
+// tableau. ok is false when the probe is unconstructible
+// (inconsequential).
+func (w *GroupingWizard) probeSetup(m *mapping.Mapping, poss, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) (*tableau, bool) {
+	excluded := make(map[string]bool, len(decidedOut)+1+len(alwaysDiffer)+len(confirmed))
+	for k := range decidedOut {
+		excluded[k] = true
+	}
+	excluded[probe.String()] = true
+	for _, e := range confirmed {
+		excluded[e.String()] = true
+	}
+	for _, e := range alwaysDiffer {
+		excluded[e.String()] = true
+	}
+	var undecided []mapping.Expr
+	for _, e := range poss {
+		if !excluded[e.String()] {
+			undecided = append(undecided, e)
+		}
+	}
+	mustDiffer := append([]mapping.Expr{probe}, alwaysDiffer...)
+	tb, ok := buildProbeTableau(m, w.SrcDeps, confirmed, undecided, mustDiffer)
+	if !ok {
+		return nil, false
+	}
+	tb.finalize()
+	return tb, true
+}
+
+// patternKey identifies a probe pattern for the prefetch cache.
+func patternKey(fn string, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) string {
+	outs := make([]string, 0, len(decidedOut))
+	for k := range decidedOut {
+		outs = append(outs, k)
+	}
+	sort.Strings(outs)
+	return fn + "\x01" + sortedExprs(confirmed) + "\x01" + strings.Join(outs, ",") +
+		"\x01" + probe.String() + "\x01" + sortedExprs(alwaysDiffer)
+}
+
+func copyDecided(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// spawnPrefetch starts a background retrieval of the example for a
+// future probe pattern.
+func (w *GroupingWizard) spawnPrefetch(m *mapping.Mapping, fn string, poss, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) {
+	key := patternKey(fn, confirmed, decidedOut, probe, alwaysDiffer)
+	confirmed = append([]mapping.Expr{}, confirmed...)
+	decidedOut = copyDecided(decidedOut)
+	w.prefetch.spawn(key, func() (*instance.Instance, bool) {
+		tb, ok := w.probeSetup(m, poss, confirmed, decidedOut, probe, alwaysDiffer)
+		if !ok {
+			return nil, false
+		}
+		q := tb.realQuery([]mapping.Expr{probe})
+		match, found, _ := q.First(w.Real, w.Timeout)
+		if !found {
+			return nil, false
+		}
+		return tb.fromMatch(match, w.Real), true
+	})
+}
+
+// obtainExampleCached consults the prefetch cache before falling back
+// to a synchronous retrieval.
+func (w *GroupingWizard) obtainExampleCached(tb *tableau, fn string, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr, stats *SKStats) (*instance.Instance, bool, error) {
+	if w.prefetch != nil {
+		key := patternKey(fn, confirmed, decidedOut, probe, alwaysDiffer)
+		if entry := w.prefetch.lookup(key); entry != nil {
+			start := time.Now()
+			<-entry.done
+			stats.ExampleTime += time.Since(start)
+			if entry.ie != nil {
+				stats.RealExamples++
+				return entry.ie, true, nil
+			}
+			stats.SyntheticExamples++
+			return tb.synthetic(), false, nil
+		}
+	}
+	return w.obtainExample(tb, []mapping.Expr{probe}, stats)
+}
+
+// obtainExample retrieves a real example via the probe query, falling
+// back to the synthetic instance on a miss or timeout.
+func (w *GroupingWizard) obtainExample(tb *tableau, differ []mapping.Expr, stats *SKStats) (*instance.Instance, bool, error) {
+	start := time.Now()
+	defer func() { stats.ExampleTime += time.Since(start) }()
+	if w.Real != nil {
+		q := tb.realQuery(differ)
+		match, ok, _ := q.First(w.Real, w.Timeout)
+		if ok {
+			stats.RealExamples++
+			return tb.fromMatch(match, w.Real), true, nil
+		}
+	}
+	stats.SyntheticExamples++
+	return tb.synthetic(), false, nil
+}
+
+// dataImplied reports whether, on the real instance, the probed
+// attribute is constant within every group of assignments that agree
+// on the confirmed attributes — in which case including it cannot
+// change the grouping of any tuple of this instance.
+func (w *GroupingWizard) dataImplied(m *mapping.Mapping, confirmed []mapping.Expr, probe mapping.Expr) (bool, error) {
+	asgs, err := chase.Assignments(w.Real, m)
+	if err != nil {
+		return false, err
+	}
+	groups := make(map[string]string)
+	for _, asg := range asgs {
+		gkey := ""
+		for _, e := range confirmed {
+			if v := asg[e.Var].Get(e.Attr); v != nil {
+				gkey += v.Key()
+			}
+			gkey += "\x06"
+		}
+		pv := ""
+		if v := asg[probe.Var].Get(probe.Attr); v != nil {
+			pv = v.Key()
+		}
+		if prev, ok := groups[gkey]; ok && prev != pv {
+			return false, nil
+		}
+		groups[gkey] = pv
+	}
+	return true, nil
+}
+
+// coversPoss reports whether the closure of the confirmed attributes
+// under the lifted implications contains all of poss (Thm 3.2: the
+// rest is inconsequential).
+func coversPoss(confirmed, poss []mapping.Expr, imps []deps.Implication) bool {
+	if len(confirmed) == 0 {
+		return false
+	}
+	cl := closureOf(confirmed, imps)
+	for _, e := range poss {
+		if !cl[e.String()] {
+			return false
+		}
+	}
+	return true
+}
+
+// inClosure reports whether probe is functionally determined by the
+// confirmed attributes.
+func inClosure(confirmed []mapping.Expr, probe mapping.Expr, imps []deps.Implication) bool {
+	if len(confirmed) == 0 {
+		return false
+	}
+	return closureOf(confirmed, imps)[probe.String()]
+}
+
+func closureOf(es []mapping.Expr, imps []deps.Implication) map[string]bool {
+	start := make([]string, len(es))
+	for i, e := range es {
+		start[i] = e.String()
+	}
+	return deps.CloseOver(imps, start)
+}
+
+// exprClasses is a union-find over attribute expressions connected by
+// satisfy equalities.
+type exprClasses struct {
+	parent map[mapping.Expr]mapping.Expr
+}
+
+func newExprClasses(eqs []mapping.Eq) *exprClasses {
+	c := &exprClasses{parent: make(map[mapping.Expr]mapping.Expr)}
+	for _, q := range eqs {
+		ra, rb := c.find(q.L), c.find(q.R)
+		if ra != rb {
+			c.parent[ra] = rb
+		}
+	}
+	return c
+}
+
+func (c *exprClasses) find(x mapping.Expr) mapping.Expr {
+	p, ok := c.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	root := c.find(p)
+	c.parent[x] = root
+	return root
+}
+
+// anyDecided reports whether some expression in probe's equality class
+// was already decided out.
+func (c *exprClasses) anyDecided(probe mapping.Expr, decidedOut map[string]bool) bool {
+	root := c.find(probe)
+	for k := range decidedOut {
+		// decidedOut keys are Expr.String() renderings "v.attr".
+		parts := strings.SplitN(k, ".", 2)
+		if len(parts) == 2 && c.find(mapping.E(parts[0], parts[1])) == root {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,394 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/deps"
+	"muse/internal/designer"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+	"muse/internal/scenarios"
+)
+
+// recordingDesigner wraps an oracle and records every question posed.
+type recordingDesigner struct {
+	inner     core.GroupingDesigner
+	questions []*core.GroupingQuestion
+}
+
+func (r *recordingDesigner) ChooseScenario(q *core.GroupingQuestion) (int, error) {
+	r.questions = append(r.questions, q)
+	return r.inner.ChooseScenario(q)
+}
+
+// TestFig3ProbeSequence reproduces Sec. III-A: the designer has
+// SKProjects(c.cname) in mind, there are no keys, and poss is the full
+// 10 attributes of c, p, e. Muse-G must infer exactly SK(c.cname).
+func TestFig3ProbeSequence(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	rec := &recordingDesigner{inner: oracle}
+
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.SKFor("SKProjects").SK.String()
+	if got != "SKProjects(c.cname)" {
+		t.Errorf("designed %s, want SKProjects(c.cname)", got)
+	}
+	// Without keys every non-implied attribute is probed. The
+	// referential equalities make p.cid ≡ c.cid and e.eid ≡ p.manager,
+	// so two of the ten attributes are implied, giving 8 questions.
+	if n := len(rec.questions); n != 8 {
+		t.Errorf("posed %d questions, want 8", n)
+	}
+	// Every question shows a small example: two tuples per relation at
+	// most, and non-isomorphic scenarios.
+	for _, q := range rec.questions {
+		for _, st := range f.Src.Sets {
+			if got := len(q.Source.AllTuples(st)); got > 2 {
+				t.Errorf("probe on %s: %s has %d tuples, want ≤ 2", q.Probe, st.Path, got)
+			}
+		}
+		if homo.Isomorphic(q.Scenario1, q.Scenario2) {
+			t.Errorf("probe on %s: scenarios are isomorphic", q.Probe)
+		}
+	}
+}
+
+// TestFig3aScenarios checks the shape of the cid probe of Fig. 3(a):
+// scenario 1 (cid in the grouping) has two project sets, scenario 2
+// has one.
+func TestFig3aScenarios(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	rec := &recordingDesigner{inner: oracle}
+	if _, err := w.DesignSK(f.M2, "SKProjects", rec); err != nil {
+		t.Fatal(err)
+	}
+	var cidQ *core.GroupingQuestion
+	for _, q := range rec.questions {
+		if q.Probe.String() == "c.cid" {
+			cidQ = q
+		}
+	}
+	if cidQ == nil {
+		t.Fatal("c.cid was never probed")
+	}
+	projs := f.Tgt.ByPath(nr.ParsePath("Orgs.Projects"))
+	count := func(in *instance.Instance) (occs int) {
+		for _, occ := range in.Occurrences(projs) {
+			if occ.Len() > 0 {
+				occs++
+			}
+		}
+		return occs
+	}
+	if got := count(cidQ.Scenario1); got != 2 {
+		t.Errorf("scenario 1 has %d non-empty project sets, want 2", got)
+	}
+	if got := count(cidQ.Scenario2); got != 1 {
+		t.Errorf("scenario 2 has %d non-empty project sets, want 1", got)
+	}
+}
+
+// TestKeyReducesQuestions reproduces Sec. III-B: with cid the key of
+// Companies and the designer wanting SKProjects(c.cid), Muse-G probes
+// the key attributes first and stops as soon as the closure of the
+// confirmed set covers poss (Thm 3.2).
+func TestKeyReducesQuestions(t *testing.T) {
+	f := scenarios.NewFigure1(true) // keys on Companies(cid), Projects(pid), Employees(eid)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", f.M2.Poss()) // G1: all attributes
+	rec := &recordingDesigner{inner: oracle}
+
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G1 has the same effect as grouping by the keys: c.cid + p.pid
+	// determine everything (p.pid → p.* → e.eid via manager → e.*).
+	if n := len(rec.questions); n != 2 {
+		var probes []string
+		for _, q := range rec.questions {
+			probes = append(probes, q.Probe.String())
+		}
+		t.Errorf("posed %d questions (%s), want 2 (c.cid then p.pid)", n, strings.Join(probes, ", "))
+	}
+	// The result must have the same effect as G1 on any instance; spot
+	// check on the Fig. 2 source.
+	want := chase.MustChase(f.Source, f.M2)
+	got := chase.MustChase(f.Source, out)
+	if !homo.Equivalent(want, got) {
+		t.Error("designed grouping does not have the same effect as G1")
+	}
+}
+
+// TestKeyFirstOrderKeepsExamplesValid: with a key on Companies(cid),
+// every example Muse-G shows satisfies the key (Sec. III-B).
+func TestKeyFirstOrderKeepsExamplesValid(t *testing.T) {
+	f := scenarios.NewFigure1(true)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	// Designer wants SKProjects(c.cid, c.cname): the paper's example of
+	// a grouping that includes the key.
+	oracle := designer.NewGroupingOracle("SKProjects",
+		[]mapping.Expr{mapping.E("c", "cid"), mapping.E("c", "cname")})
+	rec := &recordingDesigner{inner: oracle}
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range rec.questions {
+		if v := f.SrcDeps.Check(q.Source); len(v) != 0 {
+			t.Errorf("probe on %s showed an invalid example: %v", q.Probe, v[0])
+		}
+	}
+	// SK(cid) has the same effect as SK(cid, cname) (Thm 3.2), so both
+	// results are acceptable; verify semantic equivalence.
+	want := chase.MustChase(f.Source, f.M2.WithSK("SKProjects",
+		[]mapping.Expr{mapping.E("c", "cid"), mapping.E("c", "cname")}))
+	got := chase.MustChase(f.Source, out)
+	if !homo.Equivalent(want, got) {
+		t.Errorf("designed %s is not equivalent to SK(c.cid, c.cname)", out.SKFor("SKProjects").SK)
+	}
+}
+
+// TestRealExamplesDrawn: with the Fig. 2 source instance available,
+// Muse-G presents real tuples when the agree/disagree pattern exists
+// in the data.
+func TestRealExamplesDrawn(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	// Extend the source so a real example exists for probing cname:
+	// two companies agreeing on location with distinct names, each
+	// with a project.
+	f.Source.MustInsertVals("Companies", "113", "SBC", "Almaden")
+	f.Source.MustInsertVals("Projects", "p3", "WiFi", "113", "e16")
+
+	w := core.NewGroupingWizard(f.SrcDeps, f.Source)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	rec := &recordingDesigner{inner: oracle}
+	if _, err := w.DesignSK(f.M2, "SKProjects", rec); err != nil {
+		t.Fatal(err)
+	}
+	real := 0
+	for _, q := range rec.questions {
+		if q.Real {
+			real++
+			// Every tuple of a real example exists in the source.
+			for _, st := range f.Src.Sets {
+				for _, tp := range q.Source.AllTuples(st) {
+					found := false
+					for _, orig := range f.Source.AllTuples(st) {
+						if orig.Key() == tp.Key() {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("real example contains a fabricated tuple %s", tp)
+					}
+				}
+			}
+		}
+	}
+	if real == 0 {
+		t.Error("no real examples were drawn although the pattern exists")
+	}
+	if w.Stats.RealFraction() == 0 {
+		t.Error("stats did not record real examples")
+	}
+}
+
+// TestSyntheticFallback: when the instance cannot illustrate the
+// alternatives (Sec. I: "Muse is able to automatically detect when an
+// actual source instance is incapable"), Muse-G falls back to its own
+// example and still infers the right function.
+func TestSyntheticFallback(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	// The Fig. 2 source has no two companies agreeing on (cname,
+	// location), so probing cid real-fails; synthetic must kick in.
+	w := core.NewGroupingWizard(f.SrcDeps, f.Source)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	rec := &recordingDesigner{inner: oracle}
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.SKFor("SKProjects").SK.String(); got != "SKProjects(c.cname)" {
+		t.Errorf("designed %s, want SKProjects(c.cname)", got)
+	}
+	synthetic := 0
+	for _, q := range rec.questions {
+		if !q.Real {
+			synthetic++
+		}
+	}
+	if synthetic == 0 {
+		t.Error("expected synthetic fallbacks on this instance")
+	}
+}
+
+// TestAllGroupingTargetsDesignable: the oracle-designed result matches
+// the desired semantics for every subset of {cid, cname, location}
+// (restricted to Companies attributes for tractability).
+func TestAllGroupingTargetsDesignable(t *testing.T) {
+	attrs := []mapping.Expr{
+		mapping.E("c", "cid"), mapping.E("c", "cname"), mapping.E("c", "location"),
+	}
+	for mask := 0; mask < 8; mask++ {
+		var desired []mapping.Expr
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				desired = append(desired, a)
+			}
+		}
+		f := scenarios.NewFigure1(false)
+		w := core.NewGroupingWizard(f.SrcDeps, nil)
+		oracle := designer.NewGroupingOracle("SKProjects", desired)
+		out, err := w.DesignSK(f.M2, "SKProjects", oracle)
+		if err != nil {
+			t.Fatalf("mask %d: %v", mask, err)
+		}
+		// Same effect on the Fig. 2 instance (and on a shuffled copy).
+		want := chase.MustChase(f.Source, f.M2.WithSK("SKProjects", desired))
+		got := chase.MustChase(f.Source, out)
+		if !homo.Equivalent(want, got) {
+			t.Errorf("mask %d: designed SK(%v) not equivalent to desired SK(%v)",
+				mask, out.SKFor("SKProjects").SK.Args, desired)
+		}
+	}
+}
+
+// TestMultiKeyOneQuestion: with two keys on Companies and a designer
+// grouping by a key, Muse-G needs exactly one question (Sec. III-B).
+func TestMultiKeyOneQuestion(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	sd := deps.NewSet(f.Src)
+	sd.MustAddKey("Companies", "cid")
+	sd.MustAddKey("Companies", "cname")
+	w := core.NewGroupingWizard(sd, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cid")})
+	rec := &recordingDesigner{inner: oracle}
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.questions) != 1 {
+		t.Errorf("posed %d questions, want 1", len(rec.questions))
+	}
+	if rec.questions[0].Kind != core.QuestionKeyGrouping {
+		t.Error("the single question should be the key-grouping question")
+	}
+	// Grouping by any key has the same effect as grouping by cid.
+	want := chase.MustChase(f.Source, f.M2.WithSK("SKProjects", []mapping.Expr{mapping.E("c", "cid")}))
+	got := chase.MustChase(f.Source, out)
+	if !homo.Equivalent(want, got) {
+		t.Error("multi-key result not equivalent to grouping by the key")
+	}
+}
+
+// TestMultiKeyNonKeyGrouping: a designer wanting a non-key subset
+// answers the key question with scenario 2 and then probes only the
+// non-key attributes; all shown examples stay valid.
+func TestMultiKeyNonKeyGrouping(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	sd := deps.NewSet(f.Src)
+	sd.MustAddKey("Companies", "cid")
+	sd.MustAddKey("Companies", "cname")
+	w := core.NewGroupingWizard(sd, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "location")})
+	rec := &recordingDesigner{inner: oracle}
+	out, err := w.DesignSK(f.M2, "SKProjects", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range rec.questions {
+		if v := sd.Check(q.Source); len(v) != 0 {
+			t.Errorf("question %v showed an invalid example: %v", q.Kind, v[0])
+		}
+	}
+	want := chase.MustChase(f.Source, f.M2.WithSK("SKProjects", []mapping.Expr{mapping.E("c", "location")}))
+	got := chase.MustChase(f.Source, out)
+	if !homo.Equivalent(want, got) {
+		t.Errorf("designed %s not equivalent to SK(c.location)", out.SKFor("SKProjects").SK)
+	}
+}
+
+// TestDesignMappingBFSOrder designs all grouping functions of a
+// mapping with two nested levels and checks the Projects function is
+// designed before the (deeper) Grants function.
+func TestDesignMappingBFSOrder(t *testing.T) {
+	f := newGrantsScenario()
+	w := core.NewGroupingWizard(f.srcDeps, nil)
+	oracle := &designer.GroupingOracle{Desired: map[string][]mapping.Expr{
+		"SKProjects": {mapping.E("c", "cname")},
+		"SKGrants":   {mapping.E("c", "cname"), mapping.E("p", "pname")},
+	}}
+	rec := &recordingDesigner{inner: oracle}
+	out, err := w.DesignMapping(f.m, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.SKFor("SKProjects").SK.String(); got != "SKProjects(c.cname)" {
+		t.Errorf("SKProjects designed as %s", got)
+	}
+	if got := out.SKFor("SKGrants").SK.String(); got != "SKGrants(c.cname,p.pname)" {
+		t.Errorf("SKGrants designed as %s", got)
+	}
+	// Order: all SKProjects probes precede all SKGrants probes.
+	lastProj, firstGrant := -1, len(rec.questions)
+	for i, q := range rec.questions {
+		if q.SK == "SKProjects" && i > lastProj {
+			lastProj = i
+		}
+		if q.SK == "SKGrants" && i < firstGrant {
+			firstGrant = i
+		}
+	}
+	if lastProj > firstGrant {
+		t.Error("SKGrants was probed before SKProjects finished (BFS order violated)")
+	}
+}
+
+// TestStatsAccounting checks the Fig. 5 counters.
+func TestStatsAccounting(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", []mapping.Expr{mapping.E("c", "cname")})
+	if _, err := w.DesignSK(f.M2, "SKProjects", oracle); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stats.SKs) != 1 {
+		t.Fatalf("stats has %d SK records, want 1", len(w.Stats.SKs))
+	}
+	rec := w.Stats.SKs[0]
+	if rec.PossSize != 10 {
+		t.Errorf("PossSize = %d, want 10", rec.PossSize)
+	}
+	if rec.Questions != 8 || w.Stats.TotalQuestions() != 8 {
+		t.Errorf("Questions = %d, want 8", rec.Questions)
+	}
+	if rec.SyntheticExamples != 8 || rec.RealExamples != 0 {
+		t.Errorf("examples: %d real / %d synthetic, want 0/8", rec.RealExamples, rec.SyntheticExamples)
+	}
+	if w.Stats.AvgPoss() != 10 || w.Stats.AvgQuestions() != 8 {
+		t.Error("averages wrong")
+	}
+}
+
+// TestDesignUnknownSK errors cleanly.
+func TestDesignUnknownSK(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", nil)
+	if _, err := w.DesignSK(f.M2, "SKBogus", oracle); err == nil {
+		t.Error("DesignSK accepted an unknown grouping function")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+
+	"muse/internal/instance"
+)
+
+// Sec. VI: "we exploit the 'think time' of the designer on one example
+// to precompute other examples ahead of time in the background."
+//
+// While the designer considers a probe, the wizard can already know
+// the next candidate attribute; its example depends on the current
+// answer only through the confirmed set, so both branches (answer 1:
+// the probe joins the confirmed set; answer 2: it does not) are
+// speculatively retrieved in the background and picked up by the next
+// obtainExample call.
+
+// exampleCache holds speculative example retrievals keyed by the probe
+// pattern.
+type exampleCache struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	m  map[string]*cachedExample
+}
+
+type cachedExample struct {
+	done chan struct{}
+	ie   *instance.Instance
+	real bool
+}
+
+func newExampleCache() *exampleCache {
+	return &exampleCache{m: make(map[string]*cachedExample)}
+}
+
+// lookup returns a completed or in-flight speculative retrieval, or
+// nil.
+func (c *exampleCache) lookup(key string) *cachedExample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+// spawn starts a speculative retrieval unless one is already cached.
+func (c *exampleCache) spawn(key string, fetch func() (*instance.Instance, bool)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return
+	}
+	entry := &cachedExample{done: make(chan struct{})}
+	c.m[key] = entry
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		entry.ie, entry.real = fetch()
+		close(entry.done)
+	}()
+}
+
+// wait blocks until all in-flight speculative retrievals finish (used
+// on wizard completion so no goroutine outlives the design session).
+func (c *exampleCache) wait() {
+	if c != nil {
+		c.wg.Wait()
+	}
+}

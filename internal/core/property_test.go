@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/designer"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/scenarios"
+)
+
+// TestWizardSoundnessQuick is the paper's central guarantee as a
+// property test: for ANY desired grouping function Z ⊆ poss(m2, SK) —
+// sampled over the full ten attributes — and with or without keys,
+// Muse-G led by the oracle produces a mapping with the same effect as
+// the desired one on randomly generated instances.
+func TestWizardSoundnessQuick(t *testing.T) {
+	prop := func(mask uint16, keys bool, seed int64) bool {
+		f := scenarios.NewFigure1(keys)
+		poss := f.M2.Poss()
+		var desired []mapping.Expr
+		for i, e := range poss {
+			if mask&(1<<i) != 0 {
+				desired = append(desired, e)
+			}
+		}
+		w := core.NewGroupingWizard(f.SrcDeps, nil)
+		oracle := designer.NewGroupingOracle("SKProjects", desired)
+		out, err := w.DesignSK(f.M2, "SKProjects", oracle)
+		if err != nil {
+			t.Logf("mask %b keys %v: %v", mask, keys, err)
+			return false
+		}
+		// Same effect on two random instances plus the Fig. 2 source.
+		for _, in := range []*instance.Instance{
+			f.Source,
+			randomFig1Source(f, seed),
+			randomFig1Source(f, seed+7919),
+		} {
+			want := chase.MustChase(in, f.M2.WithSK("SKProjects", desired))
+			got := chase.MustChase(in, out)
+			if !homo.Equivalent(want, got) {
+				t.Logf("mask %b keys %v: designed SK(%v) differs from desired SK(%v)",
+					mask, keys, out.SKFor("SKProjects").SK.Args, desired)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomFig1Source builds a random valid source (respecting keys and
+// referential constraints).
+func randomFig1Source(f *scenarios.Figure1, seed int64) *instance.Instance {
+	r := rand.New(rand.NewSource(seed))
+	in := instance.New(f.Src)
+	names := []string{"IBM", "SBC"}
+	locs := []string{"NY", "SF"}
+	var cids, eids []string
+	for i := 0; i <= r.Intn(3); i++ {
+		cid := fmt.Sprintf("c%d", i)
+		cids = append(cids, cid)
+		in.MustInsertVals("Companies", cid, names[r.Intn(2)], locs[r.Intn(2)])
+	}
+	for i := 0; i <= r.Intn(3); i++ {
+		eid := fmt.Sprintf("e%d", i)
+		eids = append(eids, eid)
+		in.MustInsertVals("Employees", eid, fmt.Sprintf("n%d", r.Intn(2)), fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		in.MustInsertVals("Projects", fmt.Sprintf("p%d", i), fmt.Sprintf("w%d", r.Intn(2)),
+			cids[r.Intn(len(cids))], eids[r.Intn(len(eids))])
+	}
+	return in
+}
+
+// TestMuseDSoundnessQuick: for every interpretation the designer may
+// have in mind, Muse-D's question leads to exactly that mapping.
+func TestMuseDSoundnessQuick(t *testing.T) {
+	prop := func(c1, c2 bool) bool {
+		f := scenarios.NewFigure4()
+		sel := [][]int{{b2i(c1)}, {b2i(c2)}}
+		w := core.NewDisambiguationWizard(f.SrcDeps, f.Source)
+		out, err := w.Disambiguate(f.MA, &designer.ChoiceOracle{Selections: sel})
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		want := f.MA.Interpretation([]int{b2i(c1), b2i(c2)})
+		a := chase.MustChase(f.Source, out[0])
+		b := chase.MustChase(f.Source, want)
+		return homo.Equivalent(a, b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+)
+
+// Session is the complete Muse design pipeline of Sec. V: starting
+// from (possibly ambiguous) tool-generated mappings, first Muse-D
+// selects the desired interpretation of every ambiguous mapping, then
+// Muse-G designs the grouping semantics of every mapping.
+type Session struct {
+	Grouping       *GroupingWizard
+	Disambiguation *DisambiguationWizard
+}
+
+// NewSession builds a session over the source constraints and real
+// instance (both optional).
+func NewSession(srcDeps *deps.Set, real *instance.Instance) *Session {
+	return &Session{
+		Grouping:       NewGroupingWizard(srcDeps, real),
+		Disambiguation: NewDisambiguationWizard(srcDeps, real),
+	}
+}
+
+// Run drives the full pipeline on a schema mapping and returns the
+// refined, unambiguous mapping set.
+func (s *Session) Run(set *mapping.Set, gd GroupingDesigner, dd DisambiguationDesigner) (*mapping.Set, error) {
+	unambiguous, err := s.Disambiguation.DisambiguateAll(set, dd)
+	if err != nil {
+		return nil, err
+	}
+	var out []*mapping.Mapping
+	for _, m := range unambiguous.Mappings {
+		refined, err := s.Grouping.DesignMapping(m, gd)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, refined)
+	}
+	return mapping.NewSet(set.Src, set.Tgt, out...)
+}

@@ -1,0 +1,324 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// compDB is the Fig. 1 source schema with its referential constraints
+// f1, f2 and a key on Companies.
+func compDB() *nr.Catalog {
+	return nr.MustCatalog(nr.MustSchema("CompDB", nr.Record(
+		nr.F("Companies", nr.SetOf(nr.Record(
+			nr.F("cid", nr.IntType()),
+			nr.F("cname", nr.StringType()),
+			nr.F("location", nr.StringType()),
+		))),
+		nr.F("Projects", nr.SetOf(nr.Record(
+			nr.F("pid", nr.IntType()),
+			nr.F("pname", nr.StringType()),
+			nr.F("cid", nr.IntType()),
+			nr.F("manager", nr.IntType()),
+		))),
+		nr.F("Employees", nr.SetOf(nr.Record(
+			nr.F("eid", nr.IntType()),
+			nr.F("ename", nr.StringType()),
+			nr.F("contact", nr.StringType()),
+		))),
+	)))
+}
+
+func fig1Constraints(t *testing.T) *Set {
+	t.Helper()
+	s := NewSet(compDB())
+	s.MustAddKey("Companies", "cid")
+	s.MustAddRef("f1", "Projects", []string{"cid"}, "Companies", []string{"cid"})
+	s.MustAddRef("f2", "Projects", []string{"manager"}, "Employees", []string{"eid"})
+	return s
+}
+
+func TestDeclarationValidation(t *testing.T) {
+	s := NewSet(compDB())
+	if err := s.AddKey("Nope", "cid"); err == nil {
+		t.Error("AddKey accepted unknown set")
+	}
+	if err := s.AddKey("Companies", "bogus"); err == nil {
+		t.Error("AddKey accepted unknown attribute")
+	}
+	if err := s.AddKey("Companies"); err == nil {
+		t.Error("AddKey accepted empty key")
+	}
+	if err := s.AddFD("Companies", nil, []string{"cname"}); err == nil {
+		t.Error("AddFD accepted empty LHS")
+	}
+	if err := s.AddRef("r", "Projects", []string{"cid", "pid"}, "Companies", []string{"cid"}); err == nil {
+		t.Error("AddRef accepted mismatched attribute lists")
+	}
+	if err := s.AddRef("r", "Projects", []string{"cid"}, "Companies", []string{"cid"}); err != nil {
+		t.Errorf("AddRef rejected valid constraint: %v", err)
+	}
+}
+
+func TestConstraintStrings(t *testing.T) {
+	s := fig1Constraints(t)
+	if got := s.Keys[0].String(); got != "key Companies(cid)" {
+		t.Errorf("Key.String() = %q", got)
+	}
+	if got := s.Refs[0].String(); !strings.Contains(got, "f1") || !strings.Contains(got, "Projects(cid) -> Companies(cid)") {
+		t.Errorf("Ref.String() = %q", got)
+	}
+	s.MustAddFD("Companies", []string{"cname"}, []string{"location"})
+	if got := s.FDs[0].String(); got != "Companies: cname -> location" {
+		t.Errorf("FD.String() = %q", got)
+	}
+}
+
+func TestFDsOfIncludesKeys(t *testing.T) {
+	s := fig1Constraints(t)
+	st := s.Cat.ByPath(nr.ParsePath("Companies"))
+	fds := s.FDsOf(st)
+	if len(fds) != 1 {
+		t.Fatalf("FDsOf = %d FDs, want 1 (key-induced)", len(fds))
+	}
+	if got := strings.Join(fds[0].To, ","); got != "cid,cname,location" {
+		t.Errorf("key-induced FD RHS = %s", got)
+	}
+}
+
+func TestClosure(t *testing.T) {
+	s := NewSet(compDB())
+	s.MustAddFD("Companies", []string{"cid"}, []string{"cname"})
+	s.MustAddFD("Companies", []string{"cname"}, []string{"location"})
+	st := s.Cat.ByPath(nr.ParsePath("Companies"))
+	cl := s.Closure(st, []string{"cid"})
+	for _, want := range []string{"cid", "cname", "location"} {
+		if !cl[want] {
+			t.Errorf("closure(cid) missing %s", want)
+		}
+	}
+	cl = s.Closure(st, []string{"location"})
+	if cl["cid"] || cl["cname"] {
+		t.Error("closure(location) should be just location")
+	}
+}
+
+func TestCloseOverFixpointQuick(t *testing.T) {
+	// Closure is monotone and idempotent for arbitrary implication sets.
+	f := func(seed uint8) bool {
+		elems := []string{"a", "b", "c", "d", "e"}
+		var imps []Implication
+		x := int(seed)
+		for i := 0; i < 4; i++ {
+			from := elems[(x+i)%5]
+			to := elems[(x+2*i+1)%5]
+			imps = append(imps, Implication{From: []string{from}, To: []string{to}})
+		}
+		start := []string{elems[x%5]}
+		cl := CloseOver(imps, start)
+		// Idempotence: closing the closure adds nothing.
+		cl2 := CloseOver(imps, SortedMembers(cl))
+		if len(cl2) != len(cl) {
+			return false
+		}
+		// Monotone: start is contained.
+		return cl[start[0]]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleKeyed(t *testing.T) {
+	s := fig1Constraints(t)
+	if !s.SingleKeyed() {
+		t.Error("one key per set should be single-keyed")
+	}
+	s.MustAddKey("Companies", "cname")
+	if s.SingleKeyed() {
+		t.Error("two keys on Companies should not be single-keyed")
+	}
+}
+
+func validFig1Instance(s *Set) *instance.Instance {
+	in := instance.New(s.Cat)
+	in.MustInsertVals("Companies", "111", "IBM", "Almaden")
+	in.MustInsertVals("Companies", "112", "SBC", "NY")
+	in.MustInsertVals("Projects", "p1", "DBSearch", "111", "e14")
+	in.MustInsertVals("Projects", "p2", "WebSearch", "111", "e15")
+	in.MustInsertVals("Employees", "e14", "Smith", "x2292")
+	in.MustInsertVals("Employees", "e15", "Anna", "x2283")
+	in.MustInsertVals("Employees", "e16", "Brown", "x2567")
+	return in
+}
+
+func TestCheckValidInstance(t *testing.T) {
+	s := fig1Constraints(t)
+	in := validFig1Instance(s)
+	if v := s.Check(in); len(v) != 0 {
+		t.Errorf("valid instance reported violations: %v", v)
+	}
+	if !s.Valid(in) {
+		t.Error("Valid() false on valid instance")
+	}
+}
+
+func TestCheckKeyViolation(t *testing.T) {
+	s := fig1Constraints(t)
+	in := validFig1Instance(s)
+	in.MustInsertVals("Companies", "111", "IBM", "SanJose") // same cid, new location
+	v := s.Check(in)
+	if len(v) == 0 {
+		t.Fatal("key violation not detected")
+	}
+	if !strings.Contains(v[0].String(), "key Companies(cid)") {
+		t.Errorf("violation names wrong constraint: %v", v[0])
+	}
+}
+
+func TestCheckFDViolation(t *testing.T) {
+	s := fig1Constraints(t)
+	s.MustAddFD("Employees", []string{"ename"}, []string{"contact"})
+	in := validFig1Instance(s)
+	in.MustInsertVals("Employees", "e99", "Smith", "x9999") // Smith with new contact
+	v := s.Check(in)
+	if len(v) != 1 {
+		t.Fatalf("FD violation count = %d, want 1: %v", len(v), v)
+	}
+	if !strings.Contains(v[0].Constraint, "ename -> contact") {
+		t.Errorf("violation names wrong constraint: %v", v[0])
+	}
+}
+
+func TestCheckRefViolation(t *testing.T) {
+	s := fig1Constraints(t)
+	in := validFig1Instance(s)
+	in.MustInsertVals("Projects", "p9", "Ghost", "999", "e14") // cid 999 dangling
+	v := s.Check(in)
+	if len(v) != 1 {
+		t.Fatalf("ref violation count = %d, want 1: %v", len(v), v)
+	}
+	if !strings.Contains(v[0].Constraint, "f1") {
+		t.Errorf("violation names wrong constraint: %v", v[0])
+	}
+}
+
+func TestKeyScopedPerOccurrence(t *testing.T) {
+	// A key on a nested set constrains each occurrence separately: the
+	// same key value may appear in two different nested sets.
+	cat := nr.MustCatalog(nr.MustSchema("T", nr.Record(
+		nr.F("Orgs", nr.SetOf(nr.Record(
+			nr.F("oname", nr.StringType()),
+			nr.F("Projects", nr.SetOf(nr.Record(
+				nr.F("pname", nr.StringType()),
+				nr.F("budget", nr.IntType()),
+			))),
+		))),
+	)))
+	s := NewSet(cat)
+	s.MustAddKey("Orgs.Projects", "pname")
+	projs := cat.ByPath(nr.ParsePath("Orgs.Projects"))
+	in := instance.New(cat)
+	r1 := instance.NewSetRef("SKProjects", instance.C("IBM"))
+	r2 := instance.NewSetRef("SKProjects", instance.C("SBC"))
+	in.Insert(projs, r1, instance.NewTuple(projs).Put("pname", instance.C("DB")).Put("budget", instance.CI(1)))
+	in.Insert(projs, r2, instance.NewTuple(projs).Put("pname", instance.C("DB")).Put("budget", instance.CI(2)))
+	if !s.Valid(in) {
+		t.Error("same key value in different occurrences should be valid")
+	}
+	in.Insert(projs, r1, instance.NewTuple(projs).Put("pname", instance.C("DB")).Put("budget", instance.CI(3)))
+	if s.Valid(in) {
+		t.Error("key violation within one occurrence not detected")
+	}
+}
+
+func TestLookupByBareName(t *testing.T) {
+	s := NewSet(compDB())
+	// "Companies" resolves by name even though lookup prefers paths.
+	if err := s.AddKey("Companies", "cid"); err != nil {
+		t.Errorf("bare-name lookup failed: %v", err)
+	}
+}
+
+func TestRefsOfAndKeysOf(t *testing.T) {
+	s := fig1Constraints(t)
+	projects := s.Cat.ByPath(nr.ParsePath("Projects"))
+	companies := s.Cat.ByPath(nr.ParsePath("Companies"))
+	if got := len(s.RefsOf(projects)); got != 2 {
+		t.Errorf("RefsOf(Projects) = %d, want 2", got)
+	}
+	if got := len(s.RefsOf(companies)); got != 0 {
+		t.Errorf("RefsOf(Companies) = %d, want 0", got)
+	}
+	if got := len(s.KeysOf(companies)); got != 1 {
+		t.Errorf("KeysOf(Companies) = %d, want 1", got)
+	}
+}
+
+func TestCandidateKeysFromDeclaredKey(t *testing.T) {
+	s := fig1Constraints(t)
+	companies := s.Cat.ByPath(nr.ParsePath("Companies"))
+	keys := s.CandidateKeys(companies)
+	if len(keys) != 1 || strings.Join(keys[0].Attrs, ",") != "cid" {
+		t.Errorf("CandidateKeys = %v, want [cid]", keys)
+	}
+	if !s.SingleKeyedFDs(companies) {
+		t.Error("Companies should be single-keyed")
+	}
+}
+
+func TestCandidateKeysFromFDs(t *testing.T) {
+	s := NewSet(compDB())
+	// cid → cname, cname → cid (mutually determining), cid → location:
+	// two candidate keys {cid} and {cname}.
+	s.MustAddFD("Companies", []string{"cid"}, []string{"cname", "location"})
+	s.MustAddFD("Companies", []string{"cname"}, []string{"cid"})
+	companies := s.Cat.ByPath(nr.ParsePath("Companies"))
+	keys := s.CandidateKeys(companies)
+	if len(keys) != 2 {
+		t.Fatalf("CandidateKeys = %v, want two keys", keys)
+	}
+	if s.SingleKeyedFDs(companies) {
+		t.Error("two candidate keys should not be single-keyed")
+	}
+}
+
+func TestCandidateKeysComposite(t *testing.T) {
+	s := NewSet(compDB())
+	// (cname, location) → cid: composite key {cname, location} is the
+	// unique minimal key.
+	s.MustAddFD("Companies", []string{"cname", "location"}, []string{"cid"})
+	companies := s.Cat.ByPath(nr.ParsePath("Companies"))
+	keys := s.CandidateKeys(companies)
+	if len(keys) != 1 || strings.Join(keys[0].Attrs, ",") != "cname,location" {
+		t.Errorf("CandidateKeys = %v, want [cname location]", keys)
+	}
+}
+
+func TestCandidateKeysMinimality(t *testing.T) {
+	s := NewSet(compDB())
+	// A declared non-minimal key: (cid, cname) declared, but cid alone
+	// determines everything via an FD. The derived candidate key is the
+	// minimal {cid}.
+	s.MustAddKey("Companies", "cid", "cname")
+	s.MustAddFD("Companies", []string{"cid"}, []string{"cname", "location"})
+	companies := s.Cat.ByPath(nr.ParsePath("Companies"))
+	keys := s.CandidateKeys(companies)
+	if len(keys) != 1 || strings.Join(keys[0].Attrs, ",") != "cid" {
+		t.Errorf("CandidateKeys = %v, want the minimal [cid]", keys)
+	}
+}
+
+func TestCandidateKeysNoFDs(t *testing.T) {
+	s := NewSet(compDB())
+	companies := s.Cat.ByPath(nr.ParsePath("Companies"))
+	if keys := s.CandidateKeys(companies); len(keys) != 0 {
+		t.Errorf("no constraints should derive no keys, got %v", keys)
+	}
+	if !s.SingleKeyedFDs(companies) {
+		t.Error("no keys is trivially single-keyed")
+	}
+}

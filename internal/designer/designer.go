@@ -1,0 +1,186 @@
+// Package designer implements scripted designers ("oracles") for the
+// Muse wizards, used by tests, examples, and the Sec. VI experiment
+// harness. A grouping oracle holds the grouping function it has in
+// mind and answers each question by chasing the question's example
+// with its intended mapping and picking the isomorphic scenario — the
+// protocol the paper's experiments script for G1/G2/G3 designers. The
+// oracle also enforces the paper's well-formedness claim: exactly one
+// scenario must match.
+package designer
+
+import (
+	"fmt"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/homo"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// GroupingOracle answers Muse-G questions for a designer whose desired
+// grouping arguments are Desired[fn] for each grouping function fn.
+type GroupingOracle struct {
+	Desired map[string][]mapping.Expr
+}
+
+// NewGroupingOracle builds an oracle desiring the given arguments for
+// one grouping function.
+func NewGroupingOracle(fn string, args []mapping.Expr) *GroupingOracle {
+	return &GroupingOracle{Desired: map[string][]mapping.Expr{fn: args}}
+}
+
+// ChooseScenario implements core.GroupingDesigner: chase the example
+// with the intended mapping and pick the isomorphic scenario.
+func (o *GroupingOracle) ChooseScenario(q *core.GroupingQuestion) (int, error) {
+	desired, ok := o.Desired[q.SK]
+	if !ok {
+		return 0, fmt.Errorf("designer: no desired grouping for %s", q.SK)
+	}
+	want, err := chase.Chase(q.Source, q.Mapping.WithSK(q.SK, desired))
+	if err != nil {
+		return 0, err
+	}
+	iso1 := homo.Isomorphic(want, q.Scenario1)
+	iso2 := homo.Isomorphic(want, q.Scenario2)
+	switch {
+	case iso1 && iso2:
+		return 0, fmt.Errorf("designer: question on %s cannot be answered: both scenarios match SK(%s)", q.SK, exprList(desired))
+	case !iso1 && !iso2:
+		return 0, fmt.Errorf("designer: question on %s cannot be answered: neither scenario matches SK(%s)", q.SK, exprList(desired))
+	case iso1:
+		return 1, nil
+	default:
+		return 2, nil
+	}
+}
+
+func exprList(es []mapping.Expr) string {
+	s := ""
+	for i, e := range es {
+		if i > 0 {
+			s += ","
+		}
+		s += e.String()
+	}
+	return s
+}
+
+// ChoiceOracle answers Muse-D questions with a fixed selection per
+// or-group (indexes into the group's alternatives).
+type ChoiceOracle struct {
+	Selections [][]int
+}
+
+// SelectValues implements core.DisambiguationDesigner.
+func (o *ChoiceOracle) SelectValues(q *core.ChoiceQuestion) ([][]int, error) {
+	if len(o.Selections) != len(q.Choices) {
+		return nil, fmt.Errorf("designer: %d selections prepared for %d choices", len(o.Selections), len(q.Choices))
+	}
+	return o.Selections, nil
+}
+
+// Strategy is one of the paper's three canonical grouping-function
+// families (Sec. VI).
+type Strategy int
+
+const (
+	// G1 groups every set by all possible attributes (the largest
+	// number of groups; the default of mapping-generation tools).
+	G1 Strategy = iota
+	// G2 groups by the source atoms exported to records on the path
+	// from the target root to the set.
+	G2
+	// G3 groups by all atoms of poss that are exported anywhere in the
+	// target.
+	G3
+)
+
+// String returns "G1", "G2" or "G3".
+func (s Strategy) String() string {
+	switch s {
+	case G1:
+		return "G1"
+	case G2:
+		return "G2"
+	case G3:
+		return "G3"
+	default:
+		return fmt.Sprintf("G%d", int(s)+1)
+	}
+}
+
+// DesiredArgs computes the strategy's grouping arguments for the
+// grouping function fn of mapping m.
+func DesiredArgs(s Strategy, m *mapping.Mapping, fn string) ([]mapping.Expr, error) {
+	switch s {
+	case G1:
+		return m.Poss(), nil
+	case G2:
+		return exportedTo(m, fn, true)
+	case G3:
+		return exportedTo(m, fn, false)
+	default:
+		return nil, fmt.Errorf("designer: unknown strategy %d", int(s))
+	}
+}
+
+// StrategyOracle builds a grouping oracle desiring strategy s for
+// every grouping function of m.
+func StrategyOracle(s Strategy, m *mapping.Mapping) (*GroupingOracle, error) {
+	o := &GroupingOracle{Desired: make(map[string][]mapping.Expr)}
+	for _, a := range m.SKs {
+		args, err := DesiredArgs(s, m, a.SK.Fn)
+		if err != nil {
+			return nil, err
+		}
+		o.Desired[a.SK.Fn] = args
+	}
+	return o, nil
+}
+
+// exportedTo lists the source expressions exported by m's where clause
+// (and or-groups), restricted — when onPath is true — to exports into
+// records on the path from the target root to fn's set.
+func exportedTo(m *mapping.Mapping, fn string, onPath bool) ([]mapping.Expr, error) {
+	info, err := m.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	var ancestors map[*nr.SetType]bool
+	if onPath {
+		sk := m.SKFor(fn)
+		if sk == nil {
+			return nil, fmt.Errorf("designer: mapping %s has no grouping function %s", m.Name, fn)
+		}
+		holder := info.TgtVars[sk.Set.Var]
+		child := m.Tgt.ByPath(append(holder.Path.Clone(), nr.ParsePath(sk.Set.Attr)...))
+		if child == nil {
+			return nil, fmt.Errorf("designer: cannot resolve target set for %s", fn)
+		}
+		ancestors = make(map[*nr.SetType]bool)
+		for p := child.Parent; p != nil; p = p.Parent {
+			ancestors[p] = true
+		}
+	}
+	seen := make(map[string]bool)
+	var out []mapping.Expr
+	add := func(src mapping.Expr, tgt mapping.Expr) {
+		if onPath && !ancestors[info.TgtVars[tgt.Var]] {
+			return
+		}
+		if !seen[src.String()] {
+			seen[src.String()] = true
+			out = append(out, src)
+		}
+	}
+	for _, q := range m.Where {
+		add(q.L, q.R)
+	}
+	for _, g := range m.OrGroups {
+		for _, alt := range g.Alts {
+			add(alt, g.Target)
+		}
+	}
+	return out, nil
+}

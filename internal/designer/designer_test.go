@@ -1,0 +1,127 @@
+package designer_test
+
+import (
+	"strings"
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/designer"
+	"muse/internal/homo"
+	"muse/internal/scenarios"
+)
+
+func TestStrategyStrings(t *testing.T) {
+	if designer.G1.String() != "G1" || designer.G2.String() != "G2" || designer.G3.String() != "G3" {
+		t.Error("strategy names wrong")
+	}
+	if designer.Strategy(9).String() != "G10" {
+		t.Error("unknown strategy rendering wrong")
+	}
+}
+
+func TestDesiredArgsG1(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	args, err := designer.DesiredArgs(designer.G1, f.M2, "SKProjects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != len(f.M2.Poss()) {
+		t.Errorf("G1 args = %d, want |poss| = %d", len(args), len(f.M2.Poss()))
+	}
+}
+
+func TestDesiredArgsG2(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	args, err := designer.DesiredArgs(designer.G2, f.M2, "SKProjects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only c.cname is exported into a record on the path from the
+	// target root to Projects (the Org record).
+	if len(args) != 1 || args[0].String() != "c.cname" {
+		t.Errorf("G2 args = %v, want [c.cname]", args)
+	}
+}
+
+func TestDesiredArgsG3(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	args, err := designer.DesiredArgs(designer.G3, f.M2, "SKProjects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All exported atoms: cname, eid, ename, pname (in where order).
+	var got []string
+	for _, a := range args {
+		got = append(got, a.String())
+	}
+	want := "c.cname,e.eid,e.ename,p.pname"
+	if strings.Join(got, ",") != want {
+		t.Errorf("G3 args = %s, want %s", strings.Join(got, ","), want)
+	}
+	if _, err := designer.DesiredArgs(designer.Strategy(7), f.M2, "SKProjects"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := designer.DesiredArgs(designer.G2, f.M2, "SKNope"); err == nil {
+		t.Error("unknown grouping function accepted")
+	}
+}
+
+func TestStrategyOracleAnswersAllStrategies(t *testing.T) {
+	f := scenarios.NewFigure1(true)
+	for _, strat := range []designer.Strategy{designer.G1, designer.G2, designer.G3} {
+		oracle, err := designer.StrategyOracle(strat, f.M2)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		w := core.NewGroupingWizard(f.SrcDeps, nil)
+		out, err := w.DesignMapping(f.M2, oracle)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		// The designed mapping has the same effect as the intended one.
+		desired, _ := designer.DesiredArgs(strat, f.M2, "SKProjects")
+		want := chase.MustChase(f.Source, f.M2.WithSK("SKProjects", desired))
+		got := chase.MustChase(f.Source, out)
+		if !homo.Equivalent(want, got) {
+			t.Errorf("%s: designed %s not equivalent to the intended grouping", strat, out.SKFor("SKProjects").SK)
+		}
+	}
+}
+
+func TestOracleDetectsUnanswerableQuestion(t *testing.T) {
+	f := scenarios.NewFigure1(false)
+	oracle := designer.NewGroupingOracle("SKOther", nil)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	if _, err := w.DesignSK(f.M2, "SKProjects", oracle); err == nil {
+		t.Error("oracle without a desired function should error")
+	}
+}
+
+func TestChoiceOracleArity(t *testing.T) {
+	o := &designer.ChoiceOracle{Selections: [][]int{{0}}}
+	q := &core.ChoiceQuestion{Choices: make([]core.Choice, 2)}
+	if _, err := o.SelectValues(q); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	q.Choices = q.Choices[:1]
+	sel, err := o.SelectValues(q)
+	if err != nil || len(sel) != 1 {
+		t.Errorf("SelectValues = %v, %v", sel, err)
+	}
+}
+
+func TestOracleConsistencyAcrossProbeOrder(t *testing.T) {
+	// The oracle's answers must lead to an equivalent result whatever
+	// the desired set is, including the empty grouping.
+	f := scenarios.NewFigure1(false)
+	w := core.NewGroupingWizard(f.SrcDeps, nil)
+	oracle := designer.NewGroupingOracle("SKProjects", nil) // SK()
+	out, err := w.DesignSK(f.M2, "SKProjects", oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SKFor("SKProjects").SK.Args) != 0 {
+		t.Errorf("designed %s, want SKProjects()", out.SKFor("SKProjects").SK)
+	}
+}

@@ -1,0 +1,362 @@
+// Package homo implements homomorphisms between NR instances as
+// defined in Sec. II of the paper: a homomorphism h maps constants to
+// themselves, labeled nulls to constants or nulls, and SetIDs to
+// SetIDs of the same set type, such that every tuple of every
+// (reachable) set is preserved. The package decides existence of a
+// homomorphism, homomorphic equivalence (same space of solutions,
+// Defn 3.1), and isomorphism (what a designer can always distinguish,
+// Sec. III-A).
+package homo
+
+import (
+	"sort"
+
+	"muse/internal/instance"
+)
+
+// Homomorphic reports whether a homomorphism a → b exists.
+func Homomorphic(a, b *instance.Instance) bool {
+	_, ok := find(a, b, false)
+	return ok
+}
+
+// Equivalent reports whether a and b are homomorphically equivalent
+// (homomorphisms both ways). Two mappings have the same space of
+// solutions iff their universal solutions are equivalent in this sense.
+func Equivalent(a, b *instance.Instance) bool {
+	return Homomorphic(a, b) && Homomorphic(b, a)
+}
+
+// Isomorphic reports whether a one-to-one homomorphism exists in both
+// directions. The probe instances Muse constructs are chosen so that
+// design alternatives yield non-isomorphic (even when homomorphically
+// equivalent) target instances.
+func Isomorphic(a, b *instance.Instance) bool {
+	ha, ok := find(a, b, true)
+	if !ok {
+		return false
+	}
+	hb, ok := find(b, a, true)
+	if !ok {
+		return false
+	}
+	_, _ = ha, hb
+	return true
+}
+
+// Find returns a homomorphism a → b as a map from the canonical keys
+// of a's nulls and SetIDs to values of b, or false if none exists.
+func Find(a, b *instance.Instance) (map[string]instance.Value, bool) {
+	return find(a, b, false)
+}
+
+// obligation records that every tuple of set occurrence src (in a)
+// must map into the occurrence of b identified by dst. Source tuples
+// are pre-ordered most-constrained-first (fewest shape-compatible
+// destination candidates), which prunes the symmetric,
+// null-heavy instances the wizards compare.
+type obligation struct {
+	src    *instance.SetVal
+	dst    *instance.SetVal
+	tuples []*instance.Tuple
+}
+
+type searcher struct {
+	a, b      *instance.Instance
+	injective bool
+	bindings  map[string]instance.Value // null/SetID key in a → value in b
+	used      map[string]bool           // value keys in b used as binding targets (injective mode)
+	trail     []snapshotEntry           // bindings in insertion order, for backtracking
+	steps     int                       // unification attempts, for the search budget
+}
+
+// searchBudget bounds the backtracking search. Instances the wizards
+// compare are tiny; a search that exceeds the budget is abandoned and
+// reported as "no homomorphism found" (sound for the wizard: the
+// abandoned direction fails loudly in the oracle rather than silently
+// picking a scenario).
+const searchBudget = 1 << 21
+
+// newObligation pre-orders the source tuples most-constrained-first.
+// It returns ok=false when some source tuple has no shape-compatible
+// destination at all.
+func (s *searcher) newObligation(src, dst *instance.SetVal) (obligation, bool) {
+	tuples := src.Tuples()
+	counts := make(map[*instance.Tuple]int, len(tuples))
+	for _, t := range tuples {
+		n := 0
+		for _, cand := range dst.Tuples() {
+			if s.shapeCompatible(t, cand) {
+				n++
+			}
+		}
+		if n == 0 {
+			return obligation{}, false
+		}
+		counts[t] = n
+	}
+	ordered := append([]*instance.Tuple{}, tuples...)
+	sort.SliceStable(ordered, func(i, j int) bool { return counts[ordered[i]] < counts[ordered[j]] })
+	return obligation{src: src, dst: dst, tuples: ordered}, true
+}
+
+// shapeCompatible is a binding-independent prefilter: constants must
+// match exactly, nulls can only land on nulls (or constants when not
+// injective), SetIDs only on SetIDs.
+func (s *searcher) shapeCompatible(t, cand *instance.Tuple) bool {
+	for _, label := range append(append([]string{}, t.Set.Atoms...), t.Set.SetFields...) {
+		v, cv := t.Get(label), cand.Get(label)
+		if (v == nil) != (cv == nil) {
+			return false
+		}
+		if v == nil {
+			continue
+		}
+		switch v.(type) {
+		case instance.Const:
+			if !instance.SameValue(v, cv) {
+				return false
+			}
+		case *instance.Null:
+			if instance.IsSetRef(cv) || (s.injective && !instance.IsNull(cv)) {
+				return false
+			}
+		case *instance.SetRef:
+			if !instance.IsSetRef(cv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func find(a, b *instance.Instance, injective bool) (map[string]instance.Value, bool) {
+	if a.Schema != b.Schema && a.Schema.Name != b.Schema.Name {
+		return nil, false
+	}
+	s := &searcher{a: a, b: b, injective: injective,
+		bindings: make(map[string]instance.Value), used: make(map[string]bool)}
+	// Seed: every top-level set maps to its counterpart.
+	var obs []obligation
+	for _, st := range a.Cat.TopLevel() {
+		src := a.Set(instance.TopID(st))
+		if src == nil || src.Len() == 0 {
+			continue
+		}
+		// Resolve the matching set type in b's catalog by path.
+		bt := b.Cat.ByPath(st.Path)
+		if bt == nil {
+			return nil, false
+		}
+		dst := b.Set(instance.TopID(bt))
+		if dst == nil {
+			return nil, false
+		}
+		ob, ok := s.newObligation(src, dst)
+		if !ok {
+			return nil, false
+		}
+		obs = append(obs, ob)
+	}
+	if s.solve(obs, 0, 0) {
+		return s.bindings, true
+	}
+	return nil, false
+}
+
+// solve processes obligations in order; within an obligation, tuples
+// of the source occurrence are matched one at a time (index ti).
+func (s *searcher) solve(obs []obligation, oi, ti int) bool {
+	if oi >= len(obs) {
+		return true
+	}
+	if s.steps > searchBudget {
+		return false
+	}
+	ob := obs[oi]
+	tuples := ob.tuples
+	if ti >= len(tuples) {
+		return s.solve(obs, oi+1, 0)
+	}
+	t := tuples[ti]
+	candidates := ob.dst.Tuples()
+	// Greedy identity bias: when the destination holds a tuple with the
+	// exact same canonical key (the common case when comparing equal or
+	// near-equal chase results), try it first — the search then runs
+	// essentially linearly instead of exploring permutations of
+	// interchangeable Skolem terms.
+	for i, cand := range candidates {
+		if cand.Key() == t.Key() && i > 0 {
+			reordered := make([]*instance.Tuple, 0, len(candidates))
+			reordered = append(reordered, cand)
+			reordered = append(reordered, candidates[:i]...)
+			reordered = append(reordered, candidates[i+1:]...)
+			candidates = reordered
+			break
+		}
+	}
+	var usedTuples map[string]bool
+	if s.injective {
+		// In injective mode, remember which destination tuples this
+		// source occurrence already consumed. We recompute from
+		// bindings-free state by tracking locally: encode in the
+		// obligation by scanning previously matched tuples.
+		usedTuples = s.matchedTuples(ob, tuples[:ti])
+	}
+	for _, cand := range candidates {
+		s.steps++
+		if s.injective && usedTuples[cand.Key()] {
+			continue
+		}
+		if !s.shapeCompatible(t, cand) {
+			continue
+		}
+		undo := s.snapshot()
+		newObs, ok := s.unifyTuple(t, cand)
+		if ok {
+			if s.solve(append(obs, newObs...), oi, ti+1) {
+				return true
+			}
+		}
+		s.restore(undo)
+	}
+	return false
+}
+
+// matchedTuples returns the destination-tuple keys the already-matched
+// prefix maps to under the current bindings.
+func (s *searcher) matchedTuples(ob obligation, prefix []*instance.Tuple) map[string]bool {
+	out := make(map[string]bool, len(prefix))
+	for _, t := range prefix {
+		img := instance.NewTuple(ob.dst.Type)
+		ok := true
+		for label, v := range t.Vals {
+			iv := s.image(v)
+			if iv == nil {
+				ok = false
+				break
+			}
+			img.Put(label, iv)
+		}
+		if ok {
+			out[img.Key()] = true
+		}
+	}
+	return out
+}
+
+// image returns the current image of a value, or nil when it involves
+// an unbound null/SetID.
+func (s *searcher) image(v instance.Value) instance.Value {
+	switch v.(type) {
+	case instance.Const:
+		return v
+	default:
+		return s.bindings[v.Key()]
+	}
+}
+
+type snapshotEntry struct {
+	key     string
+	usedKey string
+}
+
+func (s *searcher) snapshot() int { return len(s.trail) }
+
+func (s *searcher) restore(mark int) {
+	for len(s.trail) > mark {
+		e := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		delete(s.bindings, e.key)
+		if e.usedKey != "" {
+			delete(s.used, e.usedKey)
+		}
+	}
+}
+
+func (s *searcher) bind(key string, v instance.Value) bool {
+	if prev, ok := s.bindings[key]; ok {
+		return instance.SameValue(prev, v)
+	}
+	if s.injective {
+		if s.used[v.Key()] {
+			return false
+		}
+		s.used[v.Key()] = true
+	}
+	s.bindings[key] = v
+	s.trail = append(s.trail, snapshotEntry{key: key, usedKey: mapUsedKey(s.injective, v)})
+	return true
+}
+
+func mapUsedKey(injective bool, v instance.Value) string {
+	if injective {
+		return v.Key()
+	}
+	return ""
+}
+
+// unifyTuple tries to map tuple t onto cand under the current
+// bindings, extending them; it returns any child-set obligations
+// created by newly bound SetIDs.
+func (s *searcher) unifyTuple(t, cand *instance.Tuple) ([]obligation, bool) {
+	var newObs []obligation
+	st := t.Set
+	for _, label := range append(append([]string{}, st.Atoms...), st.SetFields...) {
+		v := t.Get(label)
+		cv := cand.Get(label)
+		if v == nil && cv == nil {
+			continue
+		}
+		if v == nil || cv == nil {
+			return nil, false
+		}
+		switch val := v.(type) {
+		case instance.Const:
+			// h is the identity on constants.
+			if !instance.SameValue(val, cv) {
+				return nil, false
+			}
+		case *instance.Null:
+			// Nulls map to constants or nulls, consistently. Under an
+			// isomorphism a null must map to a null: a null→constant
+			// image has no constant-preserving inverse.
+			if instance.IsSetRef(cv) {
+				return nil, false
+			}
+			if s.injective && !instance.IsNull(cv) {
+				return nil, false
+			}
+			if !s.bind(val.Key(), cv) {
+				return nil, false
+			}
+		case *instance.SetRef:
+			// SetIDs map to SetIDs of the same set type.
+			cref, ok := cv.(*instance.SetRef)
+			if !ok {
+				return nil, false
+			}
+			already := s.bindings[val.Key()]
+			if !s.bind(val.Key(), cref) {
+				return nil, false
+			}
+			if already == nil {
+				// First time this SetID is bound: its members must map
+				// into the destination occurrence.
+				srcOcc := s.a.Set(val)
+				dstOcc := s.b.Set(cref)
+				if srcOcc != nil && srcOcc.Len() > 0 {
+					if dstOcc == nil {
+						return nil, false
+					}
+					ob, ok := s.newObligation(srcOcc, dstOcc)
+					if !ok {
+						return nil, false
+					}
+					newObs = append(newObs, ob)
+				}
+			}
+		}
+	}
+	return newObs, true
+}

@@ -1,0 +1,92 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StringCompact renders the instance like String, but with Skolemized
+// labeled nulls abbreviated to N1, N2, ... and nested-set SetIDs to
+// their function symbol plus a counter (SKProjects#1). The full terms
+// make instances unreadable in wizard questions; the abbreviation is
+// stable within one rendering (equal terms get equal short names).
+func (in *Instance) StringCompact() string {
+	short := newShortener()
+	var b strings.Builder
+	for _, st := range in.Cat.TopLevel() {
+		s := in.Set(TopID(st))
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", st.Path)
+		in.writeSetCompact(&b, s, "  ", short)
+	}
+	return b.String()
+}
+
+type shortener struct {
+	names map[string]string
+	nulls int
+	sets  map[string]int // per SetID function symbol
+}
+
+func newShortener() *shortener {
+	return &shortener{names: make(map[string]string), sets: make(map[string]int)}
+}
+
+func (sh *shortener) value(v Value) string {
+	if v == nil {
+		return "_"
+	}
+	switch t := v.(type) {
+	case Const:
+		return t.S
+	case *Null:
+		if len(t.Args) == 0 {
+			return t.Fn
+		}
+		if name, ok := sh.names[v.Key()]; ok {
+			return name
+		}
+		sh.nulls++
+		name := fmt.Sprintf("N%d", sh.nulls)
+		sh.names[v.Key()] = name
+		return name
+	case *SetRef:
+		if len(t.Args) == 0 {
+			return t.Fn
+		}
+		if name, ok := sh.names[v.Key()]; ok {
+			return name
+		}
+		sh.sets[t.Fn]++
+		name := fmt.Sprintf("%s#%d", t.Fn, sh.sets[t.Fn])
+		sh.names[v.Key()] = name
+		return name
+	default:
+		return v.String()
+	}
+}
+
+func (in *Instance) writeSetCompact(b *strings.Builder, s *SetVal, indent string, sh *shortener) {
+	tuples := s.Tuples()
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })
+	for _, t := range tuples {
+		var parts []string
+		for _, a := range t.Set.Atoms {
+			parts = append(parts, sh.value(t.Get(a)))
+		}
+		fmt.Fprintf(b, "%s(%s)\n", indent, strings.Join(parts, ", "))
+		for _, f := range t.Set.SetFields {
+			ref, ok := t.Get(f).(*SetRef)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(b, "%s%s = %s:\n", indent+"  ", f, sh.value(ref))
+			if child := in.Set(ref); child != nil {
+				in.writeSetCompact(b, child, indent+"    ", sh)
+			}
+		}
+	}
+}

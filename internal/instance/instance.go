@@ -1,0 +1,365 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"muse/internal/nr"
+)
+
+// Tuple is a value of a set's element record type: a mapping from the
+// set type's atom labels (and set-field labels) to values. Atom slots
+// hold Const or Null values; set-field slots hold SetRef values.
+type Tuple struct {
+	Set  *nr.SetType
+	Vals map[string]Value
+}
+
+// NewTuple creates an empty tuple of the given set type.
+func NewTuple(st *nr.SetType) *Tuple {
+	return &Tuple{Set: st, Vals: make(map[string]Value, len(st.Atoms)+len(st.SetFields))}
+}
+
+// Get returns the value at label, or nil if unset.
+func (t *Tuple) Get(label string) Value { return t.Vals[label] }
+
+// Set assigns the value at label and returns the tuple for chaining.
+func (t *Tuple) Put(label string, v Value) *Tuple {
+	t.Vals[label] = v
+	return t
+}
+
+// Key returns the canonical encoding of the tuple: values in the set
+// type's declared field order. Unset slots encode as empty.
+func (t *Tuple) Key() string {
+	var b strings.Builder
+	for _, a := range t.Set.Atoms {
+		if v := t.Vals[a]; v != nil {
+			b.WriteString(v.Key())
+		}
+		b.WriteByte('\x04')
+	}
+	for _, f := range t.Set.SetFields {
+		if v := t.Vals[f]; v != nil {
+			b.WriteString(v.Key())
+		}
+		b.WriteByte('\x04')
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the tuple sharing values (values are
+// immutable).
+func (t *Tuple) Clone() *Tuple {
+	c := NewTuple(t.Set)
+	for k, v := range t.Vals {
+		c.Vals[k] = v
+	}
+	return c
+}
+
+// String renders the tuple as (v1, v2, ...) in field order.
+func (t *Tuple) String() string {
+	var parts []string
+	for _, a := range t.Set.Atoms {
+		if v := t.Vals[a]; v != nil {
+			parts = append(parts, v.String())
+		} else {
+			parts = append(parts, "_")
+		}
+	}
+	for _, f := range t.Set.SetFields {
+		if v := t.Vals[f]; v != nil {
+			parts = append(parts, f+":"+v.String())
+		} else {
+			parts = append(parts, f+":_")
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SetVal is one nested set occurrence: a SetID together with the
+// tuples it contains. Tuples are deduplicated by canonical key
+// (unordered set semantics).
+type SetVal struct {
+	Type   *nr.SetType
+	ID     *SetRef
+	tuples map[string]*Tuple
+	order  []string // insertion order of keys, for stable iteration
+}
+
+func newSetVal(st *nr.SetType, id *SetRef) *SetVal {
+	return &SetVal{Type: st, ID: id, tuples: make(map[string]*Tuple)}
+}
+
+// Len returns the number of tuples in the set.
+func (s *SetVal) Len() int { return len(s.tuples) }
+
+// Insert adds the tuple, returning false if an equal tuple already
+// exists.
+func (s *SetVal) Insert(t *Tuple) bool {
+	if t.Set != s.Type {
+		panic(fmt.Sprintf("instance: inserting %s tuple into %s set", t.Set, s.Type))
+	}
+	k := t.Key()
+	if _, ok := s.tuples[k]; ok {
+		return false
+	}
+	s.tuples[k] = t
+	s.order = append(s.order, k)
+	return true
+}
+
+// Tuples returns the tuples in insertion order.
+func (s *SetVal) Tuples() []*Tuple {
+	out := make([]*Tuple, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.tuples[k])
+	}
+	return out
+}
+
+// Contains reports whether an equal tuple is present.
+func (s *SetVal) Contains(t *Tuple) bool {
+	_, ok := s.tuples[t.Key()]
+	return ok
+}
+
+// Instance is an instance of an NR schema: a collection of set
+// occurrences keyed by SetID. Every top-level set type has exactly one
+// occurrence whose SetID is the set's path; nested set occurrences are
+// created on demand as SetIDs are minted (by the chase or by builders).
+type Instance struct {
+	Schema *nr.Schema
+	Cat    *nr.Catalog
+	sets   map[string]*SetVal // SetRef key → occurrence
+	order  []string           // insertion order of SetRef keys
+}
+
+// New creates an empty instance of the schema, with the top-level set
+// occurrences pre-created.
+func New(cat *nr.Catalog) *Instance {
+	inst := &Instance{Schema: cat.Schema, Cat: cat, sets: make(map[string]*SetVal)}
+	for _, st := range cat.TopLevel() {
+		inst.EnsureSet(st, TopID(st))
+	}
+	return inst
+}
+
+// TopID returns the SetID of a top-level set type.
+func TopID(st *nr.SetType) *SetRef {
+	return NewSetRef(st.Schema.Name + "." + st.Path.String())
+}
+
+// EnsureSet returns the occurrence with the given SetID, creating an
+// empty one if absent.
+func (in *Instance) EnsureSet(st *nr.SetType, id *SetRef) *SetVal {
+	k := id.Key()
+	if s, ok := in.sets[k]; ok {
+		return s
+	}
+	s := newSetVal(st, id)
+	in.sets[k] = s
+	in.order = append(in.order, k)
+	return s
+}
+
+// Set returns the occurrence with the given SetID, or nil.
+func (in *Instance) Set(id *SetRef) *SetVal { return in.sets[id.Key()] }
+
+// Top returns the unique occurrence of a top-level set type.
+func (in *Instance) Top(st *nr.SetType) *SetVal { return in.EnsureSet(st, TopID(st)) }
+
+// Occurrences returns all occurrences of the given set type, in
+// creation order.
+func (in *Instance) Occurrences(st *nr.SetType) []*SetVal {
+	var out []*SetVal
+	for _, k := range in.order {
+		if s := in.sets[k]; s.Type == st {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AllSets returns every occurrence in creation order.
+func (in *Instance) AllSets() []*SetVal {
+	out := make([]*SetVal, 0, len(in.order))
+	for _, k := range in.order {
+		out = append(out, in.sets[k])
+	}
+	return out
+}
+
+// AllTuples returns every tuple of the given set type across all of
+// its occurrences.
+func (in *Instance) AllTuples(st *nr.SetType) []*Tuple {
+	var out []*Tuple
+	for _, s := range in.Occurrences(st) {
+		out = append(out, s.Tuples()...)
+	}
+	return out
+}
+
+// Insert adds a tuple to the occurrence with SetID id, creating the
+// occurrence if needed. It reports whether the tuple was new.
+func (in *Instance) Insert(st *nr.SetType, id *SetRef, t *Tuple) bool {
+	return in.EnsureSet(st, id).Insert(t)
+}
+
+// InsertTop adds a tuple to the unique occurrence of a top-level set.
+func (in *Instance) InsertTop(st *nr.SetType, t *Tuple) bool {
+	return in.Top(st).Insert(t)
+}
+
+// TupleCount returns the total number of tuples across all sets.
+func (in *Instance) TupleCount() int {
+	n := 0
+	for _, s := range in.sets {
+		n += s.Len()
+	}
+	return n
+}
+
+// SizeBytes estimates the byte size of the instance as the sum of the
+// display lengths of all atomic values (a proxy for the "size of I"
+// figures the paper reports).
+func (in *Instance) SizeBytes() int {
+	n := 0
+	for _, s := range in.sets {
+		for _, t := range s.Tuples() {
+			for _, a := range t.Set.Atoms {
+				if v := t.Vals[a]; v != nil {
+					n += len(v.String()) + 1
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the instance (tuples copied, values
+// shared).
+func (in *Instance) Clone() *Instance {
+	c := &Instance{Schema: in.Schema, Cat: in.Cat, sets: make(map[string]*SetVal, len(in.sets))}
+	for _, k := range in.order {
+		s := in.sets[k]
+		ns := newSetVal(s.Type, s.ID)
+		for _, t := range s.Tuples() {
+			ns.Insert(t.Clone())
+		}
+		c.sets[k] = ns
+		c.order = append(c.order, k)
+	}
+	return c
+}
+
+// Equal reports whether two instances contain exactly the same sets
+// and tuples (by canonical keys). Empty set occurrences are ignored:
+// they are indistinguishable in the data.
+func (in *Instance) Equal(other *Instance) bool {
+	return in.nonEmptyEqual(other)
+}
+
+func (in *Instance) nonEmptyEqual(other *Instance) bool {
+	a := in.nonEmptyKeys()
+	b := other.nonEmptyKeys()
+	if len(a) != len(b) {
+		return false
+	}
+	for k, keys := range a {
+		okeys, ok := b[k]
+		if !ok || len(keys) != len(okeys) {
+			return false
+		}
+		for tk := range keys {
+			if !okeys[tk] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (in *Instance) nonEmptyKeys() map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for k, s := range in.sets {
+		if s.Len() == 0 {
+			continue
+		}
+		m := make(map[string]bool, s.Len())
+		for tk := range s.tuples {
+			m[tk] = true
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// String renders the instance nested, in the style of Fig. 2: each
+// top-level set with its tuples, nested sets indented under the tuple
+// that references them.
+func (in *Instance) String() string {
+	var b strings.Builder
+	for _, st := range in.Cat.TopLevel() {
+		s := in.Set(TopID(st))
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", st.Path)
+		in.writeSet(&b, s, "  ")
+	}
+	// Orphan occurrences (nested sets never referenced) are rendered
+	// at the end to keep the output total.
+	referenced := in.referencedIDs()
+	for _, k := range in.order {
+		s := in.sets[k]
+		if s.Type.Parent == nil || referenced[k] {
+			continue
+		}
+		fmt.Fprintf(&b, "[unreferenced] %s:\n", s.ID)
+		in.writeSet(&b, s, "  ")
+	}
+	return b.String()
+}
+
+func (in *Instance) referencedIDs() map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range in.sets {
+		for _, t := range s.Tuples() {
+			for _, f := range s.Type.SetFields {
+				if ref, ok := t.Vals[f].(*SetRef); ok {
+					out[ref.Key()] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (in *Instance) writeSet(b *strings.Builder, s *SetVal, indent string) {
+	tuples := s.Tuples()
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })
+	for _, t := range tuples {
+		var parts []string
+		for _, a := range t.Set.Atoms {
+			if v := t.Vals[a]; v != nil {
+				parts = append(parts, v.String())
+			} else {
+				parts = append(parts, "_")
+			}
+		}
+		fmt.Fprintf(b, "%s(%s)\n", indent, strings.Join(parts, ", "))
+		for _, f := range t.Set.SetFields {
+			ref, ok := t.Vals[f].(*SetRef)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(b, "%s%s = %s:\n", indent+"  ", f, ref)
+			if child := in.sets[ref.Key()]; child != nil {
+				in.writeSet(b, child, indent+"    ")
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package instance implements instances of nested relational schemas:
+// nested sets of tuples whose values are constants, labeled nulls, or
+// SetIDs. Labeled nulls and SetIDs are represented as Skolem terms
+// (function symbol applied to argument values), which makes the chase
+// deterministic and gives every value a canonical string encoding used
+// for set-union deduplication.
+package instance
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Value is a value occurring in an instance: a Const, a Null, or a
+// SetRef. Values are immutable; share them freely.
+type Value interface {
+	// Key returns the canonical encoding of the value. Two values are
+	// equal iff their keys are equal.
+	Key() string
+	// String renders the value for display.
+	String() string
+	isValue()
+}
+
+// Const is an atomic constant. All constants are carried as strings;
+// integer constants are their decimal rendering (the NR atomic types
+// only matter for schema validation, not for value identity).
+type Const struct {
+	S string
+}
+
+func (c Const) isValue() {}
+
+// Key implements Value.
+func (c Const) Key() string { return "c\x00" + c.S }
+
+// String implements Value.
+func (c Const) String() string { return c.S }
+
+// C constructs a string constant.
+func C(s string) Const { return Const{S: s} }
+
+// CI constructs an integer constant.
+func CI(i int) Const { return Const{S: strconv.Itoa(i)} }
+
+// Null is a labeled null, Skolemized: two nulls created for the same
+// reason (same function symbol, same arguments) are the same null.
+// A Null with no arguments is a plain named null (N1, N2, ...).
+type Null struct {
+	Fn   string
+	Args []Value
+}
+
+func (n *Null) isValue() {}
+
+// Key implements Value.
+func (n *Null) Key() string {
+	var b strings.Builder
+	b.WriteString("n\x00")
+	writeTerm(&b, n.Fn, n.Args)
+	return b.String()
+}
+
+// String implements Value.
+func (n *Null) String() string {
+	if len(n.Args) == 0 {
+		return n.Fn
+	}
+	var b strings.Builder
+	writeTermDisplay(&b, n.Fn, n.Args)
+	return b.String()
+}
+
+// NewNull constructs a Skolemized labeled null.
+func NewNull(fn string, args ...Value) *Null { return &Null{Fn: fn, Args: args} }
+
+// SetRef is a SetID: the identity of a nested set, written as a
+// grouping (Skolem) function applied to argument values, e.g.
+// SKProjs(111, IBM, Almaden). Top-level sets have a SetRef with the
+// set's path as function symbol and no arguments.
+type SetRef struct {
+	Fn   string
+	Args []Value
+}
+
+func (s *SetRef) isValue() {}
+
+// Key implements Value.
+func (s *SetRef) Key() string {
+	var b strings.Builder
+	b.WriteString("s\x00")
+	writeTerm(&b, s.Fn, s.Args)
+	return b.String()
+}
+
+// String implements Value.
+func (s *SetRef) String() string {
+	var b strings.Builder
+	writeTermDisplay(&b, s.Fn, s.Args)
+	return b.String()
+}
+
+// NewSetRef constructs a SetID term.
+func NewSetRef(fn string, args ...Value) *SetRef { return &SetRef{Fn: fn, Args: args} }
+
+func writeTerm(b *strings.Builder, fn string, args []Value) {
+	b.WriteString(fn)
+	b.WriteByte('\x01')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte('\x02')
+		}
+		b.WriteString(a.Key())
+	}
+	b.WriteByte('\x03')
+}
+
+func writeTermDisplay(b *strings.Builder, fn string, args []Value) {
+	b.WriteString(fn)
+	b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+}
+
+// SameValue reports value equality via canonical keys. Nil values are
+// equal only to each other.
+func SameValue(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Key() == b.Key()
+}
+
+// IsConst reports whether v is a constant.
+func IsConst(v Value) bool { _, ok := v.(Const); return ok }
+
+// IsNull reports whether v is a labeled null.
+func IsNull(v Value) bool { _, ok := v.(*Null); return ok }
+
+// IsSetRef reports whether v is a SetID.
+func IsSetRef(v Value) bool { _, ok := v.(*SetRef); return ok }

@@ -1,0 +1,401 @@
+package nr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// compDB builds the source schema of Fig. 1.
+func compDB() *Schema {
+	return MustSchema("CompDB", Record(
+		F("Companies", SetOf(Record(
+			F("cid", IntType()),
+			F("cname", StringType()),
+			F("location", StringType()),
+		))),
+		F("Projects", SetOf(Record(
+			F("pid", IntType()),
+			F("pname", StringType()),
+			F("cid", IntType()),
+			F("manager", IntType()),
+		))),
+		F("Employees", SetOf(Record(
+			F("eid", IntType()),
+			F("ename", StringType()),
+			F("contact", StringType()),
+		))),
+	))
+}
+
+// orgDB builds the target schema of Fig. 1.
+func orgDB() *Schema {
+	return MustSchema("OrgDB", Record(
+		F("Orgs", SetOf(Record(
+			F("oname", StringType()),
+			F("Projects", SetOf(Record(
+				F("pname", StringType()),
+				F("manager", IntType()),
+			))),
+		))),
+		F("Employees", SetOf(Record(
+			F("eid", IntType()),
+			F("ename", StringType()),
+		))),
+	))
+}
+
+func TestTypeString(t *testing.T) {
+	ty := Record(F("cid", IntType()), F("tags", SetOf(StringType())))
+	got := ty.String()
+	want := "Rcd[cid: Int, tags: SetOf String]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	a := Record(F("x", IntType()), F("y", SetOf(Record(F("z", StringType())))))
+	b := Record(F("x", IntType()), F("y", SetOf(Record(F("z", StringType())))))
+	if !Equal(a, b) {
+		t.Error("structurally identical types reported unequal")
+	}
+	c := Record(F("x", IntType()), F("y", SetOf(Record(F("z", IntType())))))
+	if Equal(a, c) {
+		t.Error("types differing at a leaf reported equal")
+	}
+	d := Record(F("x", IntType()))
+	if Equal(a, d) {
+		t.Error("types with different field counts reported equal")
+	}
+	if Equal(nil, a) || Equal(a, nil) {
+		t.Error("nil type reported equal to non-nil")
+	}
+	if !Equal(nil, nil) == false && Equal(nil, nil) {
+		// Equal(nil, nil) is true via pointer equality; that is fine.
+		_ = d
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	ty := Choice(F("phone", StringType()), F("email", StringType()))
+	if got := ty.String(); got != "Choice[phone: String, email: String]" {
+		t.Errorf("Choice String() = %q", got)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		root    *Type
+		wantErr string
+	}{
+		{"nil root", nil, "nil root"},
+		{"non-record root", SetOf(Record()), "must be a record"},
+		{"empty label", Record(F("", IntType())), "empty field label"},
+		{"duplicate label", Record(F("a", IntType()), F("a", IntType())), "duplicate field label"},
+		{"dotted label", Record(F("a.b", IntType())), "reserved characters"},
+		{"nil field type", Record(Field{Label: "a"}), "nil type"},
+		{"nil set elem", Record(F("a", &Type{Kind: KindSet})), "nil element"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSchema("S", tc.root)
+			if err == nil {
+				t.Fatalf("NewSchema accepted invalid schema")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := NewSchema("", Record()); err == nil {
+		t.Error("NewSchema accepted empty schema name")
+	}
+	if _, err := NewSchema("OK", Record(F("a", IntType()))); err != nil {
+		t.Errorf("NewSchema rejected valid schema: %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := orgDB()
+	// Resolving a top-level set yields the set type.
+	ty, err := s.Resolve(ParsePath("Orgs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Kind != KindSet {
+		t.Errorf("Orgs resolved to %s, want SetOf", ty.Kind)
+	}
+	// Resolving through a set descends into its element record.
+	ty, err = s.Resolve(ParsePath("Orgs.Projects.pname"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Kind != KindString {
+		t.Errorf("Orgs.Projects.pname resolved to %s, want String", ty.Kind)
+	}
+	if _, err := s.Resolve(ParsePath("Orgs.nosuch")); err == nil {
+		t.Error("Resolve accepted a bogus label")
+	}
+	if _, err := s.Resolve(ParsePath("Orgs.oname.deeper")); err == nil {
+		t.Error("Resolve descended into an atomic type")
+	}
+	// Empty path resolves to the root itself.
+	ty, err = s.Resolve(nil)
+	if err != nil || ty != s.Root {
+		t.Errorf("Resolve(nil) = %v, %v; want root", ty, err)
+	}
+}
+
+func TestCatalogBreadthFirst(t *testing.T) {
+	c := MustCatalog(orgDB())
+	var order []string
+	for _, st := range c.Sets {
+		order = append(order, st.Path.String())
+	}
+	want := []string{"Orgs", "Employees", "Orgs.Projects"}
+	if len(order) != len(want) {
+		t.Fatalf("catalog has sets %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("catalog order %v, want %v (BFS from root)", order, want)
+		}
+	}
+}
+
+func TestCatalogStructure(t *testing.T) {
+	c := MustCatalog(orgDB())
+	projs := c.ByPath(ParsePath("Orgs.Projects"))
+	if projs == nil {
+		t.Fatal("Orgs.Projects missing from catalog")
+	}
+	if projs.Parent == nil || projs.Parent.Name != "Orgs" {
+		t.Errorf("Orgs.Projects parent = %v, want Orgs", projs.Parent)
+	}
+	if projs.Depth != 1 {
+		t.Errorf("Orgs.Projects depth = %d, want 1", projs.Depth)
+	}
+	if got := strings.Join(projs.Atoms, ","); got != "pname,manager" {
+		t.Errorf("Orgs.Projects atoms = %s", got)
+	}
+	orgs := c.ByPath(ParsePath("Orgs"))
+	if got := strings.Join(orgs.SetFields, ","); got != "Projects" {
+		t.Errorf("Orgs set fields = %s", got)
+	}
+	if len(c.TopLevel()) != 2 {
+		t.Errorf("top level sets = %d, want 2", len(c.TopLevel()))
+	}
+	if kids := c.Children(orgs); len(kids) != 1 || kids[0] != projs {
+		t.Errorf("Children(Orgs) = %v", kids)
+	}
+	if !projs.HasAtom("pname") || projs.HasAtom("Projects") {
+		t.Error("HasAtom misclassifies labels")
+	}
+	if !orgs.HasSetField("Projects") || orgs.HasSetField("oname") {
+		t.Error("HasSetField misclassifies labels")
+	}
+}
+
+func TestSKNamesUnique(t *testing.T) {
+	// Both CompDB.Projects and OrgDB has Projects nested under Orgs —
+	// within one schema, two sets named Projects must get
+	// path-qualified SK names.
+	s := MustSchema("S", Record(
+		F("A", SetOf(Record(
+			F("x", IntType()),
+			F("Items", SetOf(Record(F("v", IntType())))),
+		))),
+		F("B", SetOf(Record(
+			F("y", IntType()),
+			F("Items", SetOf(Record(F("w", IntType())))),
+		))),
+	))
+	c := MustCatalog(s)
+	names := make(map[string]bool)
+	for _, st := range c.Sets {
+		if names[st.SKName()] {
+			t.Fatalf("duplicate SK name %q", st.SKName())
+		}
+		names[st.SKName()] = true
+	}
+	a := c.ByPath(ParsePath("A.Items"))
+	if a.SKName() != "SKA_Items" {
+		t.Errorf("A.Items SK name = %q, want SKA_Items", a.SKName())
+	}
+	top := c.ByPath(ParsePath("A"))
+	if top.SKName() != "SKA" {
+		t.Errorf("A SK name = %q, want SKA", top.SKName())
+	}
+	if c.BySKName("SKA") != top {
+		t.Error("BySKName(SKA) did not return A")
+	}
+	if c.BySKName("SKZ") != nil {
+		t.Error("BySKName returned a set for an unknown name")
+	}
+}
+
+func TestCatalogByName(t *testing.T) {
+	c := MustCatalog(orgDB())
+	st, err := c.ByName("Projects")
+	if err != nil || st.Path.String() != "Orgs.Projects" {
+		t.Errorf("ByName(Projects) = %v, %v", st, err)
+	}
+	if _, err := c.ByName("Nope"); err == nil {
+		t.Error("ByName accepted unknown set name")
+	}
+	amb := MustSchema("S", Record(
+		F("A", SetOf(Record(F("Items", SetOf(Record(F("v", IntType()))))))),
+		F("B", SetOf(Record(F("Items", SetOf(Record(F("v", IntType()))))))),
+	))
+	if _, err := MustCatalog(amb).ByName("Items"); err == nil {
+		t.Error("ByName accepted ambiguous set name")
+	}
+}
+
+func TestFlattenedRecordAtoms(t *testing.T) {
+	s := MustSchema("S", Record(
+		F("People", SetOf(Record(
+			F("name", StringType()),
+			F("address", Record(
+				F("city", StringType()),
+				F("zip", IntType()),
+			)),
+			F("Phones", SetOf(Record(F("num", StringType())))),
+		))),
+	))
+	c := MustCatalog(s)
+	people := c.ByPath(ParsePath("People"))
+	if got := strings.Join(people.Atoms, ","); got != "name,address.city,address.zip" {
+		t.Errorf("flattened atoms = %s", got)
+	}
+	if got := strings.Join(people.SetFields, ","); got != "Phones" {
+		t.Errorf("set fields = %s", got)
+	}
+}
+
+func TestSetOfAtomGetsImplicitValueAtom(t *testing.T) {
+	s := MustSchema("S", Record(F("Tags", SetOf(StringType()))))
+	c := MustCatalog(s)
+	tags := c.ByPath(ParsePath("Tags"))
+	if len(tags.Atoms) != 1 || tags.Atoms[0] != "value" {
+		t.Errorf("SetOf String atoms = %v, want [value]", tags.Atoms)
+	}
+}
+
+func TestSetOfSetRejected(t *testing.T) {
+	s := &Schema{Name: "S", Root: Record(F("M", SetOf(SetOf(Record(F("v", IntType()))))))}
+	if _, err := NewCatalog(s); err == nil {
+		t.Error("catalog accepted set-of-set schema")
+	}
+}
+
+func TestChoiceBranchesContributeSets(t *testing.T) {
+	s := MustSchema("S", Record(
+		F("contact", Choice(
+			F("personal", Record(F("Emails", SetOf(Record(F("addr", StringType())))))),
+			F("work", Record(F("Lines", SetOf(Record(F("num", IntType())))))),
+		)),
+	))
+	c := MustCatalog(s)
+	if len(c.Sets) != 2 {
+		t.Fatalf("choice schema yielded %d sets, want 2", len(c.Sets))
+	}
+	if c.ByPath(ParsePath("contact.personal.Emails")) == nil {
+		t.Error("missing set under first choice branch")
+	}
+	if c.ByPath(ParsePath("contact.work.Lines")) == nil {
+		t.Error("missing set under second choice branch")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := ParsePath("a.b.c")
+	if p.String() != "a.b.c" || len(p) != 3 {
+		t.Errorf("ParsePath round-trip failed: %v", p)
+	}
+	if ParsePath("") != nil {
+		t.Error("ParsePath(\"\") should be nil")
+	}
+	q := p.Clone()
+	q[0] = "z"
+	if p[0] != "a" {
+		t.Error("Clone aliases the original")
+	}
+	if !p.Equal(ParsePath("a.b.c")) || p.Equal(q) || p.Equal(ParsePath("a.b")) {
+		t.Error("Path.Equal misbehaves")
+	}
+}
+
+// TestPathEqualReflexiveQuick property-tests that parse/print/Equal are
+// consistent for arbitrary label lists.
+func TestPathEqualReflexiveQuick(t *testing.T) {
+	f := func(labels []string) bool {
+		// Build a path from sanitized labels (no dots, non-empty).
+		var p Path
+		for _, l := range labels {
+			l = strings.Map(func(r rune) rune {
+				if r == '.' || r == ' ' {
+					return 'x'
+				}
+				return r
+			}, l)
+			if l == "" {
+				l = "x"
+			}
+			p = append(p, l)
+		}
+		return p.Equal(p.Clone()) && ParsePath(p.String()).Equal(p) || len(p) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldLookup(t *testing.T) {
+	rec := Record(F("a", IntType()), F("b", StringType()))
+	if f, ok := rec.Field("b"); !ok || f.Type.Kind != KindString {
+		t.Error("Field lookup failed")
+	}
+	if _, ok := rec.Field("z"); ok {
+		t.Error("Field lookup found a ghost field")
+	}
+	if _, ok := IntType().Field("a"); ok {
+		t.Error("Field lookup on atomic type should fail")
+	}
+}
+
+func TestIsAtomic(t *testing.T) {
+	if !StringType().IsAtomic() || !IntType().IsAtomic() {
+		t.Error("atomic types not reported atomic")
+	}
+	if Record().IsAtomic() || SetOf(IntType()).IsAtomic() {
+		t.Error("composite types reported atomic")
+	}
+}
+
+func TestCompDBCatalog(t *testing.T) {
+	c := MustCatalog(compDB())
+	if len(c.Sets) != 3 {
+		t.Fatalf("CompDB has %d sets, want 3", len(c.Sets))
+	}
+	companies := c.ByPath(ParsePath("Companies"))
+	if got := strings.Join(companies.Atoms, ","); got != "cid,cname,location" {
+		t.Errorf("Companies atoms = %s", got)
+	}
+	if companies.Depth != 0 || companies.Parent != nil {
+		t.Error("Companies should be top-level")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindString: "String", KindInt: "Int", KindRecord: "Rcd",
+		KindSet: "SetOf", KindChoice: "Choice", Kind(99): "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

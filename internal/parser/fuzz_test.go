@@ -1,0 +1,61 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the lexer/parser for panics and, when a document
+// parses, checks that printing and re-parsing converges (print is a
+// fixpoint and semantic objects survive). Run the seeds as ordinary
+// tests with `go test`, or fuzz with `go test -fuzz=FuzzParse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fig1Doc,
+		`schema S { A: set of record { x: int } }`,
+		`schema S { A: set of record { x: int } } key S.A(x)`,
+		`schema S { A: set of record { x: int, B: set of record { y: string } } }
+instance I of S { A: (1) { B: ("a"), ("b") } }`,
+		`schema S { c: choice { a: int, b: string } }`,
+		`mapping m { for`,
+		`schema S { A: set of record { x: int } } fd S.A: x -> x`,
+		"# comment only\n",
+		`schema S { A: set of record { x: int } } ref S.A(x) -> S.A(x)`,
+		"schema S { A: set of record { x: \"unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		printed := FormatDocument(doc)
+		doc2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed document does not re-parse: %v\n--- source ---\n%s\n--- printed ---\n%s", err, src, printed)
+		}
+		printed2 := FormatDocument(doc2)
+		if printed != printed2 {
+			t.Fatalf("printing is not a fixpoint:\n--- 1 ---\n%s\n--- 2 ---\n%s", printed, printed2)
+		}
+	})
+}
+
+// FuzzLex guards the tokenizer alone against panics and infinite
+// loops on arbitrary byte soup.
+func FuzzLex(f *testing.F) {
+	f.Add(`schema S { A: set of record { x: int } } # tail`)
+	f.Add("\"\\n\\t\\\\\"")
+	f.Add(strings.Repeat("(", 1000))
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

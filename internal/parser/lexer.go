@@ -1,0 +1,204 @@
+// Package parser implements the textual format of the Muse toolkit: a
+// document may declare schemas, constraints, correspondences, mappings
+// (in the paper's for/exists/where notation), and instances. The
+// printers in this package round-trip with the parser.
+//
+//	schema CompDB {
+//	  Companies: set of record { cid: int, cname: string, location: string },
+//	  Projects:  set of record { pid: string, pname: string, cid: int, manager: string },
+//	  Employees: set of record { eid: string, ename: string, contact: string }
+//	}
+//
+//	key CompDB.Companies(cid)
+//	fd  CompDB.Employees: ename -> contact
+//	ref f1: CompDB.Projects(cid) -> CompDB.Companies(cid)
+//
+//	correspondence CompDB.Companies.cname -> OrgDB.Orgs.oname
+//
+//	mapping m1 {
+//	  for c in CompDB.Companies
+//	  exists o in OrgDB.Orgs
+//	  where c.cname = o.oname and o.Projects = SKProjects(c.cid, c.cname, c.location)
+//	}
+//
+//	instance I of CompDB {
+//	  Companies: (111, "IBM", "Almaden"), (112, "SBC", "NY")
+//	}
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted
+	tokNumber
+	tokPunct // single-char punctuation and "->"
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front (documents are small).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.tokens, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+			l.emit(tokPunct, "->")
+			l.advance(2)
+		case strings.ContainsRune("{}(),:;=.*", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.advance(1)
+		default:
+			return nil, fmt.Errorf("parser: line %d:%d: unexpected character %q", l.line, l.col, c)
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, line: l.line, col: l.col})
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	startLine, startCol := l.line, l.col
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.advance(1)
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], line: startLine, col: startCol})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	startLine, startCol := l.line, l.col
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		// A dot followed by a letter belongs to path syntax, not the
+		// number (e.g. "1.cname" cannot occur, but "111," can).
+		if l.src[l.pos] == '.' && l.pos+1 < len(l.src) && !(l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9') {
+			break
+		}
+		l.advance(1)
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], line: startLine, col: startCol})
+}
+
+func (l *lexer) lexString() error {
+	startLine, startCol := l.line, l.col
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.advance(1)
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), line: startLine, col: startCol})
+			return nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return fmt.Errorf("parser: line %d:%d: unterminated escape", l.line, l.col)
+			}
+			next := l.src[l.pos+1]
+			switch next {
+			case '"', '\\':
+				b.WriteByte(next)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return fmt.Errorf("parser: line %d:%d: unknown escape \\%c", l.line, l.col, next)
+			}
+			l.advance(2)
+		case '\n':
+			return fmt.Errorf("parser: line %d:%d: newline in string", l.line, l.col)
+		default:
+			b.WriteByte(c)
+			l.advance(1)
+		}
+	}
+	return fmt.Errorf("parser: line %d:%d: unterminated string", startLine, startCol)
+}

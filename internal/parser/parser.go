@@ -1,0 +1,578 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"muse/internal/cliogen"
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// Document is the result of parsing a Muse text document.
+type Document struct {
+	// Schemas and Deps are keyed by schema name; Deps always has an
+	// entry (possibly empty) for every declared schema.
+	Schemas map[string]*nr.Catalog
+	Deps    map[string]*deps.Set
+	// Corrs are the declared correspondences, with their schema names.
+	Corrs []SchemaCorr
+	// Mappings are the declared mappings (validated).
+	Mappings []*mapping.Mapping
+	// Instances are keyed by instance name.
+	Instances map[string]*instance.Instance
+	// InstanceSchemas records which schema each instance instantiates.
+	InstanceSchemas map[string]string
+}
+
+// SchemaCorr is a correspondence with explicit schema names.
+type SchemaCorr struct {
+	SrcSchema string
+	TgtSchema string
+	Corr      cliogen.Corr
+}
+
+// MappingSet assembles the document's mappings between the two named
+// schemas into a mapping.Set.
+func (d *Document) MappingSet(src, tgt string) (*mapping.Set, error) {
+	sc, ok := d.Schemas[src]
+	if !ok {
+		return nil, fmt.Errorf("parser: no schema %q in document", src)
+	}
+	tc, ok := d.Schemas[tgt]
+	if !ok {
+		return nil, fmt.Errorf("parser: no schema %q in document", tgt)
+	}
+	var ms []*mapping.Mapping
+	for _, m := range d.Mappings {
+		if m.Src == sc && m.Tgt == tc {
+			ms = append(ms, m)
+		}
+	}
+	return mapping.NewSet(sc, tc, ms...)
+}
+
+// Parse parses a document.
+func Parse(src string) (*Document, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks: tokens,
+		doc: &Document{
+			Schemas:         make(map[string]*nr.Catalog),
+			Deps:            make(map[string]*deps.Set),
+			Instances:       make(map[string]*instance.Instance),
+			InstanceSchemas: make(map[string]string),
+		},
+	}
+	if err := p.document(); err != nil {
+		return nil, err
+	}
+	return p.doc, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	doc  *Document
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("parser: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errf(t, "expected %q, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.peek()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) document() error {
+	for !p.atEOF() {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return p.errf(t, "expected a declaration, found %s", t)
+		}
+		var err error
+		switch t.text {
+		case "schema":
+			err = p.schemaDecl()
+		case "key":
+			err = p.keyDecl()
+		case "fd":
+			err = p.fdDecl()
+		case "ref":
+			err = p.refDecl()
+		case "correspondence":
+			err = p.corrDecl()
+		case "mapping":
+			err = p.mappingDecl()
+		case "instance":
+			err = p.instanceDecl()
+		default:
+			return p.errf(t, "unknown declaration %q", t.text)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- schemas ---
+
+func (p *parser) schemaDecl() error {
+	p.next() // "schema"
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.doc.Schemas[name.text]; dup {
+		return p.errf(name, "schema %q declared twice", name.text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	fields, err := p.fieldList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	schema, err := nr.NewSchema(name.text, nr.Record(fields...))
+	if err != nil {
+		return err
+	}
+	cat, err := nr.NewCatalog(schema)
+	if err != nil {
+		return err
+	}
+	p.doc.Schemas[name.text] = cat
+	p.doc.Deps[name.text] = deps.NewSet(cat)
+	return nil
+}
+
+func (p *parser) fieldList() ([]nr.Field, error) {
+	var fields []nr.Field
+	for {
+		if p.isPunct("}") {
+			return fields, nil
+		}
+		label, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, nr.F(label.text, ty))
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		return fields, nil
+	}
+}
+
+func (p *parser) typeExpr() (*nr.Type, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected a type, found %s", t)
+	}
+	switch t.text {
+	case "int":
+		return nr.IntType(), nil
+	case "string":
+		return nr.StringType(), nil
+	case "set":
+		if err := p.expectKeyword("of"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		return nr.SetOf(elem), nil
+	case "record", "choice":
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		fields, err := p.fieldList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		if t.text == "record" {
+			return nr.Record(fields...), nil
+		}
+		return nr.Choice(fields...), nil
+	default:
+		return nil, p.errf(t, "unknown type %q", t.text)
+	}
+}
+
+// --- constraints ---
+
+// schemaSetRef parses "Schema.Set.Path" and returns the schema name
+// and the set path within it.
+func (p *parser) schemaSetRef() (string, string, error) {
+	schema, err := p.expectIdent()
+	if err != nil {
+		return "", "", err
+	}
+	if _, ok := p.doc.Schemas[schema.text]; !ok {
+		return "", "", p.errf(schema, "unknown schema %q", schema.text)
+	}
+	var parts []string
+	for p.isPunct(".") {
+		p.next()
+		seg, err := p.expectIdent()
+		if err != nil {
+			return "", "", err
+		}
+		parts = append(parts, seg.text)
+	}
+	if len(parts) == 0 {
+		return "", "", p.errf(schema, "expected a set path after schema %q", schema.text)
+	}
+	return schema.text, strings.Join(parts, "."), nil
+}
+
+func (p *parser) attrList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var attrs []string
+	for {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		name := a.text
+		for p.isPunct(".") {
+			p.next()
+			seg, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			name += "." + seg.text
+		}
+		attrs = append(attrs, name)
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		return attrs, p.expectPunct(")")
+	}
+}
+
+func (p *parser) keyDecl() error {
+	p.next() // "key"
+	schema, set, err := p.schemaSetRef()
+	if err != nil {
+		return err
+	}
+	attrs, err := p.attrList()
+	if err != nil {
+		return err
+	}
+	return p.doc.Deps[schema].AddKey(set, attrs...)
+}
+
+func (p *parser) fdDecl() error {
+	p.next() // "fd"
+	schema, set, err := p.schemaSetRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	from, err := p.bareAttrList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return err
+	}
+	to, err := p.bareAttrList()
+	if err != nil {
+		return err
+	}
+	return p.doc.Deps[schema].AddFD(set, from, to)
+}
+
+func (p *parser) bareAttrList() ([]string, error) {
+	var attrs []string
+	for {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a.text)
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		return attrs, nil
+	}
+}
+
+func (p *parser) refDecl() error {
+	p.next() // "ref"
+	// Optional name followed by ":".
+	name := ""
+	save := p.pos
+	if t, err := p.expectIdent(); err == nil && p.isPunct(":") {
+		// Could be "ref f1: CompDB..." or "ref CompDB..." where the
+		// next punct is "." — check which.
+		name = t.text
+		p.next() // ":"
+	} else {
+		p.pos = save
+	}
+	fromSchema, fromSet, err := p.schemaSetRef()
+	if err != nil {
+		return err
+	}
+	fromAttrs, err := p.attrList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return err
+	}
+	toSchema, toSet, err := p.schemaSetRef()
+	if err != nil {
+		return err
+	}
+	toAttrs, err := p.attrList()
+	if err != nil {
+		return err
+	}
+	if fromSchema != toSchema {
+		return fmt.Errorf("parser: ref %s crosses schemas %s and %s", name, fromSchema, toSchema)
+	}
+	return p.doc.Deps[fromSchema].AddRef(name, fromSet, fromAttrs, toSet, toAttrs)
+}
+
+// --- correspondences ---
+
+func (p *parser) corrDecl() error {
+	p.next() // "correspondence"
+	srcSchema, srcPath, err := p.schemaSetRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return err
+	}
+	tgtSchema, tgtPath, err := p.schemaSetRef()
+	if err != nil {
+		return err
+	}
+	srcSet, srcAttr, err := splitSetAttr(p.doc.Schemas[srcSchema], srcPath)
+	if err != nil {
+		return err
+	}
+	tgtSet, tgtAttr, err := splitSetAttr(p.doc.Schemas[tgtSchema], tgtPath)
+	if err != nil {
+		return err
+	}
+	p.doc.Corrs = append(p.doc.Corrs, SchemaCorr{
+		SrcSchema: srcSchema, TgtSchema: tgtSchema,
+		Corr: cliogen.Corr{
+			SrcSet: nr.ParsePath(srcSet), SrcAttr: srcAttr,
+			TgtSet: nr.ParsePath(tgtSet), TgtAttr: tgtAttr,
+		},
+	})
+	return nil
+}
+
+// splitSetAttr splits "Orgs.Projects.pname" into the longest set path
+// known to the catalog and the remaining attribute suffix.
+func splitSetAttr(cat *nr.Catalog, path string) (string, string, error) {
+	parts := strings.Split(path, ".")
+	for i := len(parts) - 1; i >= 1; i-- {
+		set := strings.Join(parts[:i], ".")
+		if st := cat.ByPath(nr.ParsePath(set)); st != nil {
+			attr := strings.Join(parts[i:], ".")
+			if !st.HasAtom(attr) {
+				return "", "", fmt.Errorf("parser: set %s has no atom %q", st, attr)
+			}
+			return set, attr, nil
+		}
+	}
+	return "", "", fmt.Errorf("parser: schema %s has no set on path %q", cat.Schema.Name, path)
+}
+
+// CorrsBetween extracts the document's correspondences between two
+// schemas in cliogen form.
+func (d *Document) CorrsBetween(src, tgt string) []cliogen.Corr {
+	var out []cliogen.Corr
+	for _, c := range d.Corrs {
+		if c.SrcSchema == src && c.TgtSchema == tgt {
+			out = append(out, c.Corr)
+		}
+	}
+	return out
+}
+
+// --- instances ---
+
+func (p *parser) instanceDecl() error {
+	p.next() // "instance"
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("of"); err != nil {
+		return err
+	}
+	schema, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	cat, ok := p.doc.Schemas[schema.text]
+	if !ok {
+		return p.errf(schema, "unknown schema %q", schema.text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	in := instance.New(cat)
+	refCounter := 0
+	for !p.isPunct("}") {
+		setName, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		st := cat.ByPath(nr.ParsePath(setName.text))
+		if st == nil || st.Parent != nil {
+			return p.errf(setName, "schema %s has no top-level set %q", schema.text, setName.text)
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		if err := p.tupleList(in, cat, st, instance.TopID(st), &refCounter); err != nil {
+			return err
+		}
+	}
+	p.next() // "}"
+	p.doc.Instances[name.text] = in
+	p.doc.InstanceSchemas[name.text] = schema.text
+	return nil
+}
+
+// tupleList parses "(v, v, ...) [{ Nested: ... }] , ..." into the
+// given set occurrence.
+func (p *parser) tupleList(in *instance.Instance, cat *nr.Catalog, st *nr.SetType, id *instance.SetRef, refCounter *int) error {
+	in.EnsureSet(st, id)
+	for {
+		if !p.isPunct("(") {
+			return nil
+		}
+		p.next()
+		t := instance.NewTuple(st)
+		for i, attr := range st.Atoms {
+			if i > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return err
+				}
+			}
+			v := p.next()
+			switch v.kind {
+			case tokIdent, tokNumber, tokString:
+				t.Put(attr, instance.C(v.text))
+			default:
+				return p.errf(v, "expected a value for %s, found %s", attr, v)
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		// Optional nested block.
+		if p.isPunct("{") {
+			p.next()
+			for !p.isPunct("}") {
+				fieldTok, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if !st.HasSetField(fieldTok.text) {
+					return p.errf(fieldTok, "set %s has no nested set %q", st, fieldTok.text)
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return err
+				}
+				child := cat.ByPath(append(st.Path.Clone(), nr.ParsePath(fieldTok.text)...))
+				*refCounter++
+				ref := instance.NewSetRef(child.SKName(), instance.CI(*refCounter))
+				t.Put(fieldTok.text, ref)
+				if err := p.tupleList(in, cat, child, ref, refCounter); err != nil {
+					return err
+				}
+			}
+			p.next() // "}"
+		}
+		// Unset nested fields get fresh empty sets so the tuple is
+		// total.
+		for _, f := range st.SetFields {
+			if t.Get(f) == nil {
+				child := cat.ByPath(append(st.Path.Clone(), nr.ParsePath(f)...))
+				*refCounter++
+				ref := instance.NewSetRef(child.SKName(), instance.CI(*refCounter))
+				t.Put(f, ref)
+				in.EnsureSet(child, ref)
+			}
+		}
+		in.Insert(st, id, t)
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}

@@ -1,0 +1,295 @@
+package parser
+
+import (
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// mappingDecl parses a mapping in the paper's notation.
+func (p *parser) mappingDecl() error {
+	p.next() // "mapping"
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	m := &mapping.Mapping{Name: name.text}
+
+	if err := p.expectKeyword("for"); err != nil {
+		return err
+	}
+	srcVars := make(map[string]bool)
+	m.For, m.Src, err = p.genList(srcVars, nil)
+	if err != nil {
+		return err
+	}
+	if p.isKeyword("satisfy") {
+		p.next()
+		m.ForSat, err = p.eqList()
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.expectKeyword("exists"); err != nil {
+		return err
+	}
+	tgtVars := make(map[string]bool)
+	m.Exists, m.Tgt, err = p.genList(tgtVars, srcVars)
+	if err != nil {
+		return err
+	}
+	if p.isKeyword("satisfy") {
+		p.next()
+		m.ExistsSat, err = p.eqList()
+		if err != nil {
+			return err
+		}
+	}
+	if p.isKeyword("where") {
+		p.next()
+		if err := p.whereList(m, srcVars, tgtVars); err != nil {
+			return err
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	if _, err := m.Analyze(); err != nil {
+		return err
+	}
+	p.doc.Mappings = append(p.doc.Mappings, m)
+	return nil
+}
+
+// genList parses "v in <source>, ..." returning the generators and the
+// catalog the root generators resolve against.
+func (p *parser) genList(vars map[string]bool, otherSide map[string]bool) ([]mapping.Gen, *nr.Catalog, error) {
+	var gens []mapping.Gen
+	var cat *nr.Catalog
+	for {
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, nil, err
+		}
+		first, err := p.expectIdent()
+		if err != nil {
+			return nil, nil, err
+		}
+		var segs []string
+		for p.isPunct(".") {
+			p.next()
+			seg, err := p.expectIdent()
+			if err != nil {
+				return nil, nil, err
+			}
+			segs = append(segs, seg.text)
+		}
+		switch {
+		case vars[first.text] || otherSide[first.text]:
+			// Parent-nested generator "p1 in o.Projects".
+			if len(segs) != 1 {
+				return nil, nil, p.errf(first, "nested generator must be parent.Field, got %s.%s", first.text, segs)
+			}
+			gens = append(gens, mapping.FromParent(v.text, first.text, segs[0]))
+		default:
+			// Root generator "c in CompDB.Companies".
+			c, ok := p.doc.Schemas[first.text]
+			if !ok {
+				return nil, nil, p.errf(first, "unknown schema or variable %q", first.text)
+			}
+			if cat != nil && cat != c {
+				return nil, nil, p.errf(first, "generators mix schemas %s and %s", cat.Schema.Name, first.text)
+			}
+			cat = c
+			gens = append(gens, mapping.FromRoot(v.text, joinDots(segs)))
+		}
+		vars[v.text] = true
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		if cat == nil {
+			return nil, nil, p.errf(p.peek(), "no root generator names a schema")
+		}
+		return gens, cat, nil
+	}
+}
+
+func joinDots(segs []string) string {
+	out := ""
+	for i, s := range segs {
+		if i > 0 {
+			out += "."
+		}
+		out += s
+	}
+	return out
+}
+
+// exprRef parses "v.attr[.more]".
+func (p *parser) exprRef() (mapping.Expr, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return mapping.Expr{}, err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return mapping.Expr{}, err
+	}
+	a, err := p.expectIdent()
+	if err != nil {
+		return mapping.Expr{}, err
+	}
+	attr := a.text
+	for p.isPunct(".") {
+		p.next()
+		seg, err := p.expectIdent()
+		if err != nil {
+			return mapping.Expr{}, err
+		}
+		attr += "." + seg.text
+	}
+	return mapping.E(v.text, attr), nil
+}
+
+// eqList parses "a.x = b.y and c.z = d.w ..." stopping before a
+// keyword or closing brace.
+func (p *parser) eqList() ([]mapping.Eq, error) {
+	var eqs []mapping.Eq
+	for {
+		l, err := p.exprRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		r, err := p.exprRef()
+		if err != nil {
+			return nil, err
+		}
+		eqs = append(eqs, mapping.Eq{L: l, R: r})
+		if p.isKeyword("and") && !p.nextIsClauseKeyword(1) {
+			p.next()
+			continue
+		}
+		return eqs, nil
+	}
+}
+
+// nextIsClauseKeyword reports whether the token after offset starts a
+// new clause ("exists", "where", "satisfy").
+func (p *parser) nextIsClauseKeyword(offset int) bool {
+	t := p.toks[p.pos+offset]
+	return t.kind == tokIdent && (t.text == "exists" || t.text == "where" || t.text == "satisfy")
+}
+
+// whereList parses the where clause: plain equalities, or-groups, and
+// grouping assignments, separated by "and".
+func (p *parser) whereList(m *mapping.Mapping, srcVars, tgtVars map[string]bool) error {
+	for {
+		if p.isPunct("(") {
+			if err := p.orGroup(m, tgtVars); err != nil {
+				return err
+			}
+		} else if err := p.whereItem(m, srcVars, tgtVars); err != nil {
+			return err
+		}
+		if p.isKeyword("and") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// whereItem parses "expr = expr" or "tgt.SetField = SKName(args)".
+func (p *parser) whereItem(m *mapping.Mapping, srcVars, tgtVars map[string]bool) error {
+	l, err := p.exprRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	// A Skolem term starts with an identifier followed by "(".
+	if p.peek().kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+		fn := p.next()
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		var args []mapping.Expr
+		for !p.isPunct(")") {
+			arg, err := p.exprRef()
+			if err != nil {
+				return err
+			}
+			args = append(args, arg)
+			if p.isPunct(",") {
+				p.next()
+			}
+		}
+		p.next() // ")"
+		m.SKs = append(m.SKs, mapping.SKAssign{Set: l, SK: mapping.SKTerm{Fn: fn.text, Args: args}})
+		return nil
+	}
+	r, err := p.exprRef()
+	if err != nil {
+		return err
+	}
+	// Normalize: source expression on the left.
+	if tgtVars[l.Var] && srcVars[r.Var] {
+		l, r = r, l
+	}
+	m.Where = append(m.Where, mapping.Eq{L: l, R: r})
+	return nil
+}
+
+// orGroup parses "(s1.a = t.x or s2.b = t.x or ...)".
+func (p *parser) orGroup(m *mapping.Mapping, tgtVars map[string]bool) error {
+	open := p.next() // "("
+	var group mapping.OrGroup
+	for {
+		l, err := p.exprRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return err
+		}
+		r, err := p.exprRef()
+		if err != nil {
+			return err
+		}
+		// The target element is the side bound in the exists clause.
+		var src, tgt mapping.Expr
+		switch {
+		case tgtVars[r.Var] && !tgtVars[l.Var]:
+			src, tgt = l, r
+		case tgtVars[l.Var] && !tgtVars[r.Var]:
+			src, tgt = r, l
+		default:
+			return p.errf(open, "or-group disjunct %s = %s does not relate a source and a target element", l, r)
+		}
+		if group.Alts == nil {
+			group.Target = tgt
+		} else if group.Target != tgt {
+			return p.errf(open, "or-group mixes target elements %s and %s", group.Target, tgt)
+		}
+		group.Alts = append(group.Alts, src)
+		if p.isKeyword("or") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	m.OrGroups = append(m.OrGroups, group)
+	return nil
+}

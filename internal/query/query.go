@@ -1,0 +1,357 @@
+// Package query implements conjunctive queries with equalities and
+// inequalities over NR instances. Muse uses such queries (the Q_Ie of
+// Sec. III-A and IV-A) to retrieve real tuples from the actual source
+// instance that realize a constructed example's agree/disagree
+// pattern; when no real match exists (or a deadline passes), the
+// wizards fall back to synthetic examples.
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// Atom is one tuple pattern of a query: it binds tuple variable Var to
+// a tuple of a set (a top-level set named by Set, or the nested set
+// Parent.Field of an earlier atom's tuple), and binds each attribute
+// listed in Bind to a value variable. Repeating a value variable
+// across attributes expresses equality.
+type Atom struct {
+	Var    string
+	Set    nr.Path // top-level set, when Parent is empty
+	Parent string  // earlier atom's tuple variable
+	Field  string  // set field of the parent's record
+	Bind   map[string]string
+	// Pin constrains attributes to constant values (selection).
+	Pin map[string]instance.Value
+}
+
+// Query is a conjunctive query with inequalities.
+type Query struct {
+	Src   *nr.Catalog
+	Atoms []Atom
+	// Neq lists pairs of value variables required to differ.
+	Neq [][2]string
+}
+
+// Match is one query answer: the matched tuple per atom (indexed as in
+// Atoms) and the value of every value variable.
+type Match struct {
+	Tuples []*instance.Tuple
+	Values map[string]instance.Value
+}
+
+// Options controls evaluation.
+type Options struct {
+	// Limit stops after this many matches (0 = all).
+	Limit int
+	// Timeout aborts evaluation after this duration (0 = none). An
+	// aborted evaluation returns the matches found so far and
+	// ErrTimeout.
+	Timeout time.Duration
+}
+
+// ErrTimeout is returned when evaluation exceeds Options.Timeout.
+var ErrTimeout = fmt.Errorf("query: evaluation timed out")
+
+// Validate resolves the query against its catalog.
+func (q *Query) Validate() error {
+	seen := make(map[string]*nr.SetType, len(q.Atoms))
+	for i, a := range q.Atoms {
+		if a.Var == "" {
+			return fmt.Errorf("query: atom %d has no tuple variable", i)
+		}
+		if _, dup := seen[a.Var]; dup {
+			return fmt.Errorf("query: tuple variable %q bound twice", a.Var)
+		}
+		var st *nr.SetType
+		switch {
+		case a.Parent == "":
+			st = q.Src.ByPath(a.Set)
+			if st == nil {
+				return fmt.Errorf("query: atom %q: no set %q", a.Var, a.Set)
+			}
+			if st.Parent != nil {
+				return fmt.Errorf("query: atom %q: set %q is nested; bind it through a parent atom", a.Var, a.Set)
+			}
+		default:
+			parent, ok := seen[a.Parent]
+			if !ok {
+				return fmt.Errorf("query: atom %q: parent %q not bound earlier", a.Var, a.Parent)
+			}
+			if !parent.HasSetField(a.Field) {
+				return fmt.Errorf("query: atom %q: %s has no set field %q", a.Var, parent, a.Field)
+			}
+			st = q.Src.ByPath(append(parent.Path.Clone(), nr.ParsePath(a.Field)...))
+		}
+		for attr := range a.Bind {
+			if !st.HasAtom(attr) {
+				return fmt.Errorf("query: atom %q: %s has no atom %q", a.Var, st, attr)
+			}
+		}
+		for attr := range a.Pin {
+			if !st.HasAtom(attr) {
+				return fmt.Errorf("query: atom %q: %s has no atom %q to pin", a.Var, st, attr)
+			}
+		}
+		seen[a.Var] = st
+	}
+	return nil
+}
+
+// Eval evaluates the query over the instance. Atoms are internally
+// reordered greedily — pinned or already-connected atoms first — which
+// keeps the backtracking join index-driven; results report tuples in
+// the original atom order.
+func (q *Query) Eval(in *instance.Instance, opt Options) ([]Match, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ordered, back := q.planOrder()
+	e := &evalState{
+		q: ordered, in: in,
+		values:  make(map[string]instance.Value),
+		tuples:  make([]*instance.Tuple, len(q.Atoms)),
+		indexes: make(map[string]map[string][]*instance.Tuple),
+		opt:     opt,
+	}
+	if opt.Timeout > 0 {
+		e.deadline = time.Now().Add(opt.Timeout)
+	}
+	err := e.search(0)
+	// Restore the caller's atom order in the reported matches.
+	for mi := range e.out {
+		orig := make([]*instance.Tuple, len(e.out[mi].Tuples))
+		for pos, t := range e.out[mi].Tuples {
+			orig[back[pos]] = t
+		}
+		e.out[mi].Tuples = orig
+	}
+	return e.out, err
+}
+
+// planOrder reorders the atoms for evaluation: an atom is ready once
+// its parent (if any) is placed; among ready atoms, prefer one with a
+// pinned attribute, then one sharing a value variable with a placed
+// atom (so the hash index applies), then any. back[pos] gives the
+// original index of the atom evaluated at position pos.
+func (q *Query) planOrder() (*Query, []int) {
+	n := len(q.Atoms)
+	placed := make([]bool, n)
+	boundVars := make(map[string]bool)
+	placedAtoms := make(map[string]bool)
+	var order []int
+	ready := func(i int) bool {
+		a := q.Atoms[i]
+		return a.Parent == "" || placedAtoms[a.Parent]
+	}
+	score := func(i int) int {
+		a := q.Atoms[i]
+		if len(a.Pin) > 0 {
+			return 2
+		}
+		for _, vvar := range a.Bind {
+			if boundVars[vvar] {
+				return 1
+			}
+		}
+		return 0
+	}
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if placed[i] || !ready(i) {
+				continue
+			}
+			if s := score(i); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		if best < 0 {
+			// Unreachable for validated queries (parents precede
+			// children), but guard against cycles.
+			for i := 0; i < n; i++ {
+				if !placed[i] {
+					best = i
+					break
+				}
+			}
+		}
+		placed[best] = true
+		placedAtoms[q.Atoms[best].Var] = true
+		for _, vvar := range q.Atoms[best].Bind {
+			boundVars[vvar] = true
+		}
+		order = append(order, best)
+	}
+	atoms := make([]Atom, n)
+	back := make([]int, n)
+	for pos, idx := range order {
+		atoms[pos] = q.Atoms[idx]
+		back[pos] = idx
+	}
+	return &Query{Src: q.Src, Atoms: atoms, Neq: q.Neq}, back
+}
+
+// First returns one match, or ok=false when the query is empty on the
+// instance (a timeout also reports not-found, with the error).
+func (q *Query) First(in *instance.Instance, timeout time.Duration) (Match, bool, error) {
+	ms, err := q.Eval(in, Options{Limit: 1, Timeout: timeout})
+	if len(ms) > 0 {
+		return ms[0], true, nil
+	}
+	return Match{}, false, err
+}
+
+type evalState struct {
+	q        *Query
+	in       *instance.Instance
+	values   map[string]instance.Value
+	tuples   []*instance.Tuple
+	out      []Match
+	indexes  map[string]map[string][]*instance.Tuple // per-(set, attr) hash indexes
+	opt      Options
+	deadline time.Time
+	steps    int
+}
+
+func (e *evalState) timedOut() bool {
+	e.steps++
+	if e.deadline.IsZero() || e.steps%256 != 0 {
+		return false
+	}
+	return time.Now().After(e.deadline)
+}
+
+func (e *evalState) search(i int) error {
+	if e.timedOut() {
+		return ErrTimeout
+	}
+	if i >= len(e.q.Atoms) {
+		// All atoms matched: inequalities were checked incrementally.
+		m := Match{Tuples: append([]*instance.Tuple{}, e.tuples...), Values: make(map[string]instance.Value, len(e.values))}
+		for k, v := range e.values {
+			m.Values[k] = v
+		}
+		e.out = append(e.out, m)
+		return nil
+	}
+	a := e.q.Atoms[i]
+	for _, t := range e.candidates(i, a) {
+		bound, ok := e.bindTuple(a, t)
+		if ok {
+			e.tuples[i] = t
+			if err := e.search(i + 1); err != nil {
+				e.unbind(bound)
+				return err
+			}
+			if e.opt.Limit > 0 && len(e.out) >= e.opt.Limit {
+				e.unbind(bound)
+				return nil
+			}
+			e.tuples[i] = nil
+		}
+		e.unbind(bound)
+	}
+	return nil
+}
+
+// candidates narrows the tuple pool for atom i using a hash index on
+// the first already-bound value variable, when the atom draws from a
+// top-level set.
+func (e *evalState) candidates(i int, a Atom) []*instance.Tuple {
+	if a.Parent != "" {
+		var parent *instance.Tuple
+		for j := range e.q.Atoms[:i] {
+			if e.q.Atoms[j].Var == a.Parent {
+				parent = e.tuples[j]
+			}
+		}
+		if parent == nil {
+			return nil
+		}
+		ref, _ := parent.Get(a.Field).(*instance.SetRef)
+		if ref == nil {
+			return nil
+		}
+		occ := e.in.Set(ref)
+		if occ == nil {
+			return nil
+		}
+		return occ.Tuples()
+	}
+	st := e.q.Src.ByPath(a.Set)
+	for attr, v := range a.Pin {
+		return e.index(st, attr)[v.Key()]
+	}
+	for attr, vvar := range a.Bind {
+		v, ok := e.values[vvar]
+		if !ok {
+			continue
+		}
+		return e.index(st, attr)[v.Key()]
+	}
+	return e.in.Top(st).Tuples()
+}
+
+func (e *evalState) index(st *nr.SetType, attr string) map[string][]*instance.Tuple {
+	key := st.Path.String() + "\x00" + attr
+	if idx, ok := e.indexes[key]; ok {
+		return idx
+	}
+	idx := make(map[string][]*instance.Tuple)
+	for _, t := range e.in.Top(st).Tuples() {
+		if v := t.Get(attr); v != nil {
+			idx[v.Key()] = append(idx[v.Key()], t)
+		}
+	}
+	e.indexes[key] = idx
+	return idx
+}
+
+// bindTuple binds the atom's value variables against tuple t,
+// returning the newly bound variable names for undo, and whether the
+// binding (including inequalities) is consistent.
+func (e *evalState) bindTuple(a Atom, t *instance.Tuple) ([]string, bool) {
+	for attr, want := range a.Pin {
+		if !instance.SameValue(t.Get(attr), want) {
+			return nil, false
+		}
+	}
+	var bound []string
+	for attr, vvar := range a.Bind {
+		v := t.Get(attr)
+		if v == nil {
+			e.unbind(bound)
+			return nil, false
+		}
+		if prev, ok := e.values[vvar]; ok {
+			if !instance.SameValue(prev, v) {
+				e.unbind(bound)
+				return nil, false
+			}
+			continue
+		}
+		e.values[vvar] = v
+		bound = append(bound, vvar)
+	}
+	// Check inequalities that are now fully bound.
+	for _, ne := range e.q.Neq {
+		l, lok := e.values[ne[0]]
+		r, rok := e.values[ne[1]]
+		if lok && rok && instance.SameValue(l, r) {
+			e.unbind(bound)
+			return nil, false
+		}
+	}
+	return bound, true
+}
+
+func (e *evalState) unbind(vars []string) {
+	for _, v := range vars {
+		delete(e.values, v)
+	}
+}

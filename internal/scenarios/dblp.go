@@ -1,0 +1,148 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"muse/internal/cliogen"
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// DBLP rebuilds the paper's second scenario: two nested organizations
+// of the DBLP bibliography. The source nests authors (with
+// affiliations) and links under articles; the target regroups papers
+// under journals and issues. The structural knobs match Sec. VI: 6
+// nested target sets with grouping functions, no ambiguity, an average
+// poss around 11, and single keys whose attributes are NOT exported
+// (so a G2 designer gets no key-based question reduction, exactly the
+// effect the paper reports).
+func DBLP() *Scenario {
+	src := nr.MustCatalog(nr.MustSchema("DBLP1", nr.Record(
+		nr.F("Articles", nr.SetOf(nr.Record(
+			str("akey"), str("title"), num("year"), str("month"), num("volume"),
+			str("pages"), str("journal"), str("publisher"), str("ee"), str("note"),
+			nr.F("AuthorsOf", nr.SetOf(nr.Record(
+				str("name"), num("position"),
+				rel("AffilsOf", str("org")),
+			))),
+			rel("LinksOf", str("url")),
+		))),
+	)))
+	sd := deps.NewSet(src)
+	sd.MustAddKey("Articles", "akey")
+	sd.MustAddKey("Articles.AuthorsOf", "name")
+	sd.MustAddKey("Articles.AuthorsOf.AffilsOf", "org")
+	sd.MustAddKey("Articles.LinksOf", "url")
+
+	tgt := nr.MustCatalog(nr.MustSchema("DBLP2", nr.Record(
+		nr.F("Journals", nr.SetOf(nr.Record(
+			str("jname"),
+			nr.F("JIssues", nr.SetOf(nr.Record(
+				// A pure grouping level: issues have no atoms of their
+				// own; the designer chooses what an "issue" groups.
+				nr.F("JPapers", nr.SetOf(nr.Record(
+					str("title"), num("year"), num("volume"), str("pages"),
+					nr.F("WrittenBy", nr.SetOf(nr.Record(
+						str("wname"), num("position"),
+						rel("WAffils", str("org")),
+					))),
+					rel("PLinks", str("url")),
+					rel("JNotes", str("note")),
+				))),
+			))),
+		))),
+	)))
+	td := deps.NewSet(tgt)
+
+	corrs := []cliogen.Corr{
+		cliogen.C("Articles", "journal", "Journals", "jname"),
+		cliogen.C("Articles", "title", "Journals.JIssues.JPapers", "title"),
+		cliogen.C("Articles", "year", "Journals.JIssues.JPapers", "year"),
+		cliogen.C("Articles", "volume", "Journals.JIssues.JPapers", "volume"),
+		cliogen.C("Articles", "pages", "Journals.JIssues.JPapers", "pages"),
+		cliogen.C("Articles.AuthorsOf", "name", "Journals.JIssues.JPapers.WrittenBy", "wname"),
+		cliogen.C("Articles.AuthorsOf", "position", "Journals.JIssues.JPapers.WrittenBy", "position"),
+		cliogen.C("Articles.AuthorsOf.AffilsOf", "org", "Journals.JIssues.JPapers.WrittenBy.WAffils", "org"),
+		cliogen.C("Articles.LinksOf", "url", "Journals.JIssues.JPapers.PLinks", "url"),
+		cliogen.C("Articles", "note", "Journals.JIssues.JPapers.JNotes", "note"),
+	}
+
+	return &Scenario{
+		Name: "DBLP", Src: sd, Tgt: td, Corrs: corrs,
+		NewInstance:       dblpInstance(sd),
+		PaperSizeMB:       2.6,
+		PaperGroupingSets: 6,
+		PaperMappings:     4,
+		PaperAmbiguous:    0,
+		PaperAvgPoss:      11,
+	}
+}
+
+func dblpInstance(sd *deps.Set) func(scale float64) *instance.Instance {
+	return func(scale float64) *instance.Instance {
+		r := rng(11)
+		in := instance.New(sd.Cat)
+		cat := sd.Cat
+		articles := cat.ByPath(nr.ParsePath("Articles"))
+		authorsOf := cat.ByPath(nr.ParsePath("Articles.AuthorsOf"))
+		affilsOf := cat.ByPath(nr.ParsePath("Articles.AuthorsOf.AffilsOf"))
+		linksOf := cat.ByPath(nr.ParsePath("Articles.LinksOf"))
+
+		journals := namePool("Journal", 25)
+		months := []string{"jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"}
+		names := namePool("Author", 700)
+		orgs := namePool("Org", 60)
+		notes := namePool("Note", 8)
+		publishers := namePool("Pub", 15)
+
+		n := int(3200 * scale)
+		if n < 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			akey := fmt.Sprintf("conf/a%06d", i)
+			art := instance.NewTuple(articles).
+				Put("akey", instance.C(akey)).
+				Put("title", instance.C(fmt.Sprintf("On the Theory of Topic %05d", i))).
+				Put("year", instance.C(fmt.Sprint(1970+r.Intn(38)))).
+				Put("month", instance.C(pick(r, months))).
+				Put("volume", instance.C(fmt.Sprint(1+r.Intn(50)))).
+				Put("pages", instance.C(fmt.Sprintf("%d-%d", i%800+1, i%800+12))).
+				Put("journal", instance.C(pick(r, journals))).
+				Put("publisher", instance.C(pick(r, publishers))).
+				Put("ee", instance.C(fmt.Sprintf("db/a%06d.html", i))).
+				Put("note", instance.C(pick(r, notes)))
+			auRef := instance.NewSetRef("SKAuthorsOf", instance.C(akey))
+			liRef := instance.NewSetRef("SKLinksOf", instance.C(akey))
+			art.Put("AuthorsOf", auRef).Put("LinksOf", liRef)
+			in.InsertTop(articles, art)
+			in.EnsureSet(linksOf, liRef)
+
+			na := 1 + r.Intn(3)
+			used := make(map[string]bool, na)
+			for j := 0; j < na; j++ {
+				name := pick(r, names)
+				if used[name] {
+					continue // the per-occurrence key AuthorsOf(name)
+				}
+				used[name] = true
+				au := instance.NewTuple(authorsOf).
+					Put("name", instance.C(name)).
+					Put("position", instance.C(fmt.Sprint(j+1)))
+				afRef := instance.NewSetRef("SKAffilsOf", instance.C(akey), instance.C(name))
+				au.Put("AffilsOf", afRef)
+				in.Insert(authorsOf, auRef, au)
+				in.EnsureSet(affilsOf, afRef)
+				for k := 0; k < r.Intn(2)+1; k++ {
+					in.Insert(affilsOf, afRef, instance.NewTuple(affilsOf).Put("org", instance.C(pick(r, orgs))))
+				}
+			}
+			for k := 0; k < r.Intn(2); k++ {
+				in.Insert(linksOf, liRef, instance.NewTuple(linksOf).
+					Put("url", instance.C(fmt.Sprintf("http://dblp/a%06d/%d", i, k))))
+			}
+		}
+		return in
+	}
+}

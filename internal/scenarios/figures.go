@@ -1,0 +1,225 @@
+// Package scenarios provides the mapping scenarios used throughout the
+// Muse reproduction: the paper's running examples (Fig. 1/Fig. 2 and
+// the ambiguous mapping of Fig. 4) and synthetic stand-ins for the four
+// evaluation scenarios of Sec. VI (Mondial, DBLP, TPC-H, Amalgam).
+package scenarios
+
+import (
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// Figure1 is the running example of the paper: the CompDB → OrgDB
+// scenario of Fig. 1 with mappings m1, m2, m3, constraints f1, f2, and
+// the source instance of Fig. 2.
+type Figure1 struct {
+	Src, Tgt *nr.Catalog
+	SrcDeps  *deps.Set
+	TgtDeps  *deps.Set
+	M1       *mapping.Mapping
+	M2       *mapping.Mapping
+	M3       *mapping.Mapping
+	Set      *mapping.Set
+	// Source is the instance of Fig. 2 (two companies, two projects,
+	// three employees).
+	Source *instance.Instance
+}
+
+// NewFigure1 builds the Fig. 1 scenario. The key on Companies(cid) is
+// the one Sec. III-B discusses; call it with keys=false to get the
+// keyless variant of Sec. III-A.
+func NewFigure1(keys bool) *Figure1 {
+	src := nr.MustCatalog(nr.MustSchema("CompDB", nr.Record(
+		nr.F("Companies", nr.SetOf(nr.Record(
+			nr.F("cid", nr.IntType()),
+			nr.F("cname", nr.StringType()),
+			nr.F("location", nr.StringType()),
+		))),
+		nr.F("Projects", nr.SetOf(nr.Record(
+			nr.F("pid", nr.StringType()),
+			nr.F("pname", nr.StringType()),
+			nr.F("cid", nr.IntType()),
+			nr.F("manager", nr.StringType()),
+		))),
+		nr.F("Employees", nr.SetOf(nr.Record(
+			nr.F("eid", nr.StringType()),
+			nr.F("ename", nr.StringType()),
+			nr.F("contact", nr.StringType()),
+		))),
+	)))
+	tgt := nr.MustCatalog(nr.MustSchema("OrgDB", nr.Record(
+		nr.F("Orgs", nr.SetOf(nr.Record(
+			nr.F("oname", nr.StringType()),
+			nr.F("Projects", nr.SetOf(nr.Record(
+				nr.F("pname", nr.StringType()),
+				nr.F("manager", nr.StringType()),
+			))),
+		))),
+		nr.F("Employees", nr.SetOf(nr.Record(
+			nr.F("eid", nr.StringType()),
+			nr.F("ename", nr.StringType()),
+		))),
+	)))
+
+	sd := deps.NewSet(src)
+	sd.MustAddRef("f1", "Projects", []string{"cid"}, "Companies", []string{"cid"})
+	sd.MustAddRef("f2", "Projects", []string{"manager"}, "Employees", []string{"eid"})
+	if keys {
+		sd.MustAddKey("Companies", "cid")
+		sd.MustAddKey("Projects", "pid")
+		sd.MustAddKey("Employees", "eid")
+	}
+	td := deps.NewSet(tgt)
+	// The target constraint behind m2's exists-satisfy clause
+	// p1.manager = e1.eid.
+	td.MustAddRef("tf1", "Orgs.Projects", []string{"manager"}, "Employees", []string{"eid"})
+
+	m1 := &mapping.Mapping{
+		Name: "m1", Src: src, Tgt: tgt,
+		For:    []mapping.Gen{mapping.FromRoot("c", "Companies")},
+		Exists: []mapping.Gen{mapping.FromRoot("o", "Orgs")},
+		Where:  []mapping.Eq{{L: mapping.E("c", "cname"), R: mapping.E("o", "oname")}},
+		SKs: []mapping.SKAssign{{
+			Set: mapping.E("o", "Projects"),
+			SK: mapping.SKTerm{Fn: "SKProjects", Args: []mapping.Expr{
+				mapping.E("c", "cid"), mapping.E("c", "cname"), mapping.E("c", "location"),
+			}},
+		}},
+	}
+
+	m2 := &mapping.Mapping{
+		Name: "m2", Src: src, Tgt: tgt,
+		For: []mapping.Gen{
+			mapping.FromRoot("c", "Companies"),
+			mapping.FromRoot("p", "Projects"),
+			mapping.FromRoot("e", "Employees"),
+		},
+		ForSat: []mapping.Eq{
+			{L: mapping.E("p", "cid"), R: mapping.E("c", "cid")},
+			{L: mapping.E("e", "eid"), R: mapping.E("p", "manager")},
+		},
+		Exists: []mapping.Gen{
+			mapping.FromRoot("o", "Orgs"),
+			mapping.FromParent("p1", "o", "Projects"),
+			mapping.FromRoot("e1", "Employees"),
+		},
+		ExistsSat: []mapping.Eq{
+			{L: mapping.E("p1", "manager"), R: mapping.E("e1", "eid")},
+		},
+		Where: []mapping.Eq{
+			{L: mapping.E("c", "cname"), R: mapping.E("o", "oname")},
+			{L: mapping.E("e", "eid"), R: mapping.E("e1", "eid")},
+			{L: mapping.E("e", "ename"), R: mapping.E("e1", "ename")},
+			{L: mapping.E("p", "pname"), R: mapping.E("p1", "pname")},
+		},
+	}
+	// Default grouping: SKProjects(<all attributes of c, p and e>).
+	if err := m2.AddDefaultSKs(); err != nil {
+		panic(err)
+	}
+
+	m3 := &mapping.Mapping{
+		Name: "m3", Src: src, Tgt: tgt,
+		For:    []mapping.Gen{mapping.FromRoot("e", "Employees")},
+		Exists: []mapping.Gen{mapping.FromRoot("e1", "Employees")},
+		Where: []mapping.Eq{
+			{L: mapping.E("e", "eid"), R: mapping.E("e1", "eid")},
+			{L: mapping.E("e", "ename"), R: mapping.E("e1", "ename")},
+		},
+	}
+
+	set, err := mapping.NewSet(src, tgt, m1, m2, m3)
+	if err != nil {
+		panic(err)
+	}
+
+	in := instance.New(src)
+	in.MustInsertVals("Companies", "111", "IBM", "Almaden")
+	in.MustInsertVals("Companies", "112", "SBC", "NY")
+	in.MustInsertVals("Projects", "p1", "DBSearch", "111", "e14")
+	in.MustInsertVals("Projects", "p2", "WebSearch", "111", "e15")
+	in.MustInsertVals("Employees", "e14", "Smith", "x2292")
+	in.MustInsertVals("Employees", "e15", "Anna", "x2283")
+	in.MustInsertVals("Employees", "e16", "Brown", "x2567")
+
+	return &Figure1{
+		Src: src, Tgt: tgt, SrcDeps: sd, TgtDeps: td,
+		M1: m1, M2: m2, M3: m3, Set: set, Source: in,
+	}
+}
+
+// Figure4 is the ambiguous-mapping scenario of Fig. 4: projects have a
+// manager and a tech lead, and the target asks for a single supervisor
+// and email — two or-groups with two alternatives each (four
+// interpretations).
+type Figure4 struct {
+	Src, Tgt *nr.Catalog
+	SrcDeps  *deps.Set
+	MA       *mapping.Mapping
+	Set      *mapping.Set
+	// Source is a small real instance containing the Fig. 4(b) tuples.
+	Source *instance.Instance
+}
+
+// NewFigure4 builds the Fig. 4 scenario.
+func NewFigure4() *Figure4 {
+	src := nr.MustCatalog(nr.MustSchema("CompDB", nr.Record(
+		nr.F("Projects", nr.SetOf(nr.Record(
+			nr.F("pid", nr.StringType()),
+			nr.F("pname", nr.StringType()),
+			nr.F("manager", nr.StringType()),
+			nr.F("tech_lead", nr.StringType()),
+		))),
+		nr.F("Employees", nr.SetOf(nr.Record(
+			nr.F("eid", nr.StringType()),
+			nr.F("ename", nr.StringType()),
+			nr.F("contact", nr.StringType()),
+		))),
+	)))
+	tgt := nr.MustCatalog(nr.MustSchema("OrgDB", nr.Record(
+		nr.F("Projects", nr.SetOf(nr.Record(
+			nr.F("pname", nr.StringType()),
+			nr.F("supervisor", nr.StringType()),
+			nr.F("email", nr.StringType()),
+		))),
+	)))
+
+	sd := deps.NewSet(src)
+	sd.MustAddRef("g1", "Projects", []string{"manager"}, "Employees", []string{"eid"})
+	sd.MustAddRef("g2", "Projects", []string{"tech_lead"}, "Employees", []string{"eid"})
+
+	ma := &mapping.Mapping{
+		Name: "ma", Src: src, Tgt: tgt,
+		For: []mapping.Gen{
+			mapping.FromRoot("p", "Projects"),
+			mapping.FromRoot("e1", "Employees"),
+			mapping.FromRoot("e2", "Employees"),
+		},
+		ForSat: []mapping.Eq{
+			{L: mapping.E("e1", "eid"), R: mapping.E("p", "manager")},
+			{L: mapping.E("e2", "eid"), R: mapping.E("p", "tech_lead")},
+		},
+		Exists: []mapping.Gen{mapping.FromRoot("p1", "Projects")},
+		Where: []mapping.Eq{
+			{L: mapping.E("p", "pname"), R: mapping.E("p1", "pname")},
+		},
+		OrGroups: []mapping.OrGroup{
+			{Target: mapping.E("p1", "supervisor"), Alts: []mapping.Expr{mapping.E("e1", "ename"), mapping.E("e2", "ename")}},
+			{Target: mapping.E("p1", "email"), Alts: []mapping.Expr{mapping.E("e1", "contact"), mapping.E("e2", "contact")}},
+		},
+	}
+
+	set, err := mapping.NewSet(src, tgt, ma)
+	if err != nil {
+		panic(err)
+	}
+
+	in := instance.New(src)
+	in.MustInsertVals("Projects", "P1", "DB", "e4", "e5")
+	in.MustInsertVals("Employees", "e4", "Jon", "jon@ibm")
+	in.MustInsertVals("Employees", "e5", "Anna", "anna@ibm")
+
+	return &Figure4{Src: src, Tgt: tgt, SrcDeps: sd, MA: ma, Set: set, Source: in}
+}

@@ -1,0 +1,38 @@
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+
+	"muse/internal/nr"
+)
+
+// rel declares a top-level (or nested) set-of-record field.
+func rel(name string, fields ...nr.Field) nr.Field {
+	return nr.F(name, nr.SetOf(nr.Record(fields...)))
+}
+
+// str and num declare atomic fields.
+func str(label string) nr.Field { return nr.F(label, nr.StringType()) }
+func num(label string) nr.Field { return nr.F(label, nr.IntType()) }
+
+// namePool builds a pool of n distinct synthetic names with the given
+// prefix.
+func namePool(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%03d", prefix, i)
+	}
+	return out
+}
+
+// roundNumbers builds a pool of "round" numeric strings (the shape of
+// population/area data, which repeats across rows and so admits real
+// agree-examples).
+func roundNumbers(r *rand.Rand, n, unit, max int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprint((r.Intn(max) + 1) * unit)
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"muse/internal/cliogen"
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// Mondial rebuilds the paper's first scenario: the relational Mondial
+// geographical database mapped into a nested (DTD-shaped) reorganization.
+// The synthetic schema preserves the structural knobs Sec. VI depends
+// on: 8 nested target sets with grouping functions, a mapping count in
+// the twenties, 7 ambiguous mappings (border neighbors, membership
+// roles, and per-year population histories), single keys per relation,
+// and data with enough repeated attribute values (capitals, round
+// populations, percentages) that real probe examples exist for a
+// sizeable fraction of questions.
+func Mondial() *Scenario {
+	src := nr.MustCatalog(nr.MustSchema("Mondial", nr.Record(
+		rel("Country", str("code"), str("name"), str("capital"), num("area"), num("population"), num("gdp"), num("inflation"), str("government")),
+		rel("Province", str("pid"), str("name"), str("country"), str("capital"), num("population")),
+		rel("City", str("cid"), str("name"), str("country"), str("province"), num("population")),
+		rel("CountryPop", str("country"), num("year"), num("population")),
+		rel("ProvincePop", str("province"), num("year"), num("population")),
+		rel("CityPop", str("city"), num("year"), num("population")),
+		rel("Organization", str("abbrev"), str("name"), str("city"), num("established"), str("seat")),
+		rel("IsMember", str("country"), str("organization"), str("mtype")),
+		rel("Language", str("country"), str("lname"), num("percentage")),
+		rel("Religion", str("country"), str("rname"), num("percentage")),
+		rel("Border", str("country1"), str("country2"), num("length")),
+		rel("Lake", str("lname"), num("area")),
+		rel("GeoLake", str("lake"), str("country"), str("province"), num("share")),
+		rel("River", str("rname"), num("length")),
+		rel("GeoRiver", str("river"), str("country"), num("share")),
+		rel("Sea", str("sname"), num("depth")),
+		rel("Desert", str("dname"), num("area")),
+		rel("Island", str("iname"), num("area")),
+		rel("Mountain", str("mname"), num("height")),
+	)))
+	sd := deps.NewSet(src)
+	sd.MustAddKey("Country", "code")
+	sd.MustAddKey("Province", "pid")
+	sd.MustAddKey("City", "cid")
+	sd.MustAddKey("Organization", "abbrev")
+	sd.MustAddKey("Lake", "lname")
+	sd.MustAddKey("River", "rname")
+	sd.MustAddKey("Sea", "sname")
+	sd.MustAddKey("Desert", "dname")
+	sd.MustAddKey("Island", "iname")
+	sd.MustAddKey("Mountain", "mname")
+	sd.MustAddRef("pc", "Province", []string{"country"}, "Country", []string{"code"})
+	sd.MustAddRef("cc", "City", []string{"country"}, "Country", []string{"code"})
+	sd.MustAddRef("kp", "CountryPop", []string{"country"}, "Country", []string{"code"})
+	sd.MustAddRef("pp", "ProvincePop", []string{"province"}, "Province", []string{"pid"})
+	sd.MustAddRef("yp", "CityPop", []string{"city"}, "City", []string{"cid"})
+	sd.MustAddRef("oc", "Organization", []string{"city"}, "City", []string{"cid"})
+	sd.MustAddRef("mc", "IsMember", []string{"country"}, "Country", []string{"code"})
+	sd.MustAddRef("mo", "IsMember", []string{"organization"}, "Organization", []string{"abbrev"})
+	sd.MustAddRef("lc", "Language", []string{"country"}, "Country", []string{"code"})
+	sd.MustAddRef("rc", "Religion", []string{"country"}, "Country", []string{"code"})
+	sd.MustAddRef("b1", "Border", []string{"country1"}, "Country", []string{"code"})
+	sd.MustAddRef("b2", "Border", []string{"country2"}, "Country", []string{"code"})
+	sd.MustAddRef("gl", "GeoLake", []string{"lake"}, "Lake", []string{"lname"})
+	sd.MustAddRef("glc", "GeoLake", []string{"country"}, "Country", []string{"code"})
+	sd.MustAddRef("glp", "GeoLake", []string{"province"}, "Province", []string{"pid"})
+	sd.MustAddRef("gr", "GeoRiver", []string{"river"}, "River", []string{"rname"})
+	sd.MustAddRef("grc", "GeoRiver", []string{"country"}, "Country", []string{"code"})
+
+	tgt := nr.MustCatalog(nr.MustSchema("MondialX", nr.Record(
+		nr.F("Countries", nr.SetOf(nr.Record(
+			str("ccode"), str("name"), str("capital"), num("area"), num("population"),
+			rel("Provinces", str("ppid"), str("name"), str("capital"), num("population"),
+				nr.F("Cities", nr.SetOf(nr.Record(str("ccid"), str("name"), num("population"))))),
+			rel("Languages", str("name"), num("percentage")),
+			rel("Religions", str("name"), num("percentage")),
+			rel("Borders", str("neighbor"), str("ncapital"), num("length")),
+		))),
+		nr.F("Organizations", nr.SetOf(nr.Record(
+			str("abbrev"), str("name"), num("established"), str("headq"),
+			rel("Members", str("member"), str("mcapital"), str("mtype")),
+		))),
+		nr.F("Lakes", nr.SetOf(nr.Record(
+			str("name"), num("area"),
+			rel("LakeLocs", str("country"), num("share")),
+		))),
+		nr.F("Rivers", nr.SetOf(nr.Record(
+			str("name"), num("length"),
+			rel("RiverLocs", str("country"), num("share")),
+		))),
+		rel("Seas", str("name"), num("depth")),
+		rel("Deserts", str("name"), num("area")),
+		rel("Islands", str("name"), num("area")),
+		rel("Mountains", str("name"), num("height")),
+	)))
+	td := deps.NewSet(tgt)
+
+	corrs := []cliogen.Corr{
+		cliogen.C("Country", "code", "Countries", "ccode"),
+		cliogen.C("Country", "name", "Countries", "name"),
+		cliogen.C("Country", "capital", "Countries", "capital"),
+		cliogen.C("Country", "area", "Countries", "area"),
+		cliogen.C("Country", "population", "Countries", "population"),
+		cliogen.C("CountryPop", "population", "Countries", "population"),
+		cliogen.C("Province", "pid", "Countries.Provinces", "ppid"),
+		cliogen.C("Province", "name", "Countries.Provinces", "name"),
+		cliogen.C("Province", "capital", "Countries.Provinces", "capital"),
+		cliogen.C("Province", "population", "Countries.Provinces", "population"),
+		cliogen.C("ProvincePop", "population", "Countries.Provinces", "population"),
+		cliogen.C("City", "cid", "Countries.Provinces.Cities", "ccid"),
+		cliogen.C("City", "name", "Countries.Provinces.Cities", "name"),
+		cliogen.C("City", "population", "Countries.Provinces.Cities", "population"),
+		cliogen.C("CityPop", "population", "Countries.Provinces.Cities", "population"),
+		cliogen.C("Language", "lname", "Countries.Languages", "name"),
+		cliogen.C("Language", "percentage", "Countries.Languages", "percentage"),
+		cliogen.C("Religion", "rname", "Countries.Religions", "name"),
+		cliogen.C("Religion", "percentage", "Countries.Religions", "percentage"),
+		cliogen.C("Border", "length", "Countries.Borders", "length"),
+		cliogen.C("Country", "name", "Countries.Borders", "neighbor"),
+		cliogen.C("Country", "capital", "Countries.Borders", "ncapital"),
+		cliogen.C("Organization", "abbrev", "Organizations", "abbrev"),
+		cliogen.C("Organization", "name", "Organizations", "name"),
+		cliogen.C("Organization", "established", "Organizations", "established"),
+		cliogen.C("City", "name", "Organizations", "headq"),
+		cliogen.C("IsMember", "mtype", "Organizations.Members", "mtype"),
+		cliogen.C("Country", "name", "Organizations.Members", "member"),
+		cliogen.C("Country", "capital", "Organizations.Members", "mcapital"),
+		cliogen.C("Lake", "lname", "Lakes", "name"),
+		cliogen.C("Lake", "area", "Lakes", "area"),
+		cliogen.C("GeoLake", "share", "Lakes.LakeLocs", "share"),
+		cliogen.C("Country", "name", "Lakes.LakeLocs", "country"),
+		cliogen.C("River", "rname", "Rivers", "name"),
+		cliogen.C("River", "length", "Rivers", "length"),
+		cliogen.C("GeoRiver", "share", "Rivers.RiverLocs", "share"),
+		cliogen.C("Country", "name", "Rivers.RiverLocs", "country"),
+		cliogen.C("Sea", "sname", "Seas", "name"),
+		cliogen.C("Sea", "depth", "Seas", "depth"),
+		cliogen.C("Desert", "dname", "Deserts", "name"),
+		cliogen.C("Desert", "area", "Deserts", "area"),
+		cliogen.C("Island", "iname", "Islands", "name"),
+		cliogen.C("Island", "area", "Islands", "area"),
+		cliogen.C("Mountain", "mname", "Mountains", "name"),
+		cliogen.C("Mountain", "height", "Mountains", "height"),
+	}
+
+	return &Scenario{
+		Name: "Mondial", Src: sd, Tgt: td, Corrs: corrs,
+		NewInstance:        mondialInstance(sd),
+		PaperSizeMB:        1,
+		PaperGroupingSets:  8,
+		PaperMappings:      26,
+		PaperAmbiguous:     7,
+		PaperAvgPoss:       13.1,
+		PaperDAlternatives: 208,
+		PaperDQuestions:    7,
+	}
+}
+
+func mondialInstance(sd *deps.Set) func(scale float64) *instance.Instance {
+	return func(scale float64) *instance.Instance {
+		r := rng(7)
+		in := instance.New(sd.Cat)
+		n := func(base int) int {
+			v := int(float64(base) * scale)
+			if v < 2 {
+				v = 2
+			}
+			return v
+		}
+		nc, np, nci := n(200), n(900), n(2400)
+		cityNames := namePool("Ci", nci/3) // repeated city names (real-world homonyms)
+		pops := roundNumbers(r, 40, 10000, 500)
+		areas := roundNumbers(r, 40, 100, 900)
+		pcts := roundNumbers(r, 20, 5, 19)
+		years := []string{"1970", "1980", "1990", "2000"}
+
+		countries := make([]string, nc)
+		countryNames := make([]string, nc)
+		for i := range countries {
+			countries[i] = fmt.Sprintf("C%03d", i)
+			countryNames[i] = fmt.Sprintf("Country%03d", i)
+			in.MustInsertVals("Country", countries[i], countryNames[i], pick(r, cityNames), pick(r, areas), pick(r, pops), pick(r, pops), pick(r, pcts), pick(r, []string{"republic", "monarchy", "federation"}))
+		}
+		provinces := make([]string, np)
+		for i := range provinces {
+			provinces[i] = fmt.Sprintf("P%04d", i)
+			in.MustInsertVals("Province", provinces[i], fmt.Sprintf("Prov%03d", i%(np/2+1)), pick(r, countries), pick(r, cityNames), pick(r, pops))
+		}
+		cities := make([]string, nci)
+		for i := range cities {
+			cities[i] = fmt.Sprintf("CT%05d", i)
+			in.MustInsertVals("City", cities[i], pick(r, cityNames), pick(r, countries), pick(r, provinces), pick(r, pops))
+		}
+		for i := 0; i < n(400); i++ {
+			in.MustInsertVals("CountryPop", pick(r, countries), pick(r, years), pick(r, pops))
+			in.MustInsertVals("ProvincePop", pick(r, provinces), pick(r, years), pick(r, pops))
+			in.MustInsertVals("CityPop", pick(r, cities), pick(r, years), pick(r, pops))
+		}
+		orgs := make([]string, n(120))
+		for i := range orgs {
+			orgs[i] = fmt.Sprintf("ORG%03d", i)
+			in.MustInsertVals("Organization", orgs[i], fmt.Sprintf("Organization %03d", i), pick(r, cities), fmt.Sprint(1900+r.Intn(20)*5), pick(r, cityNames))
+		}
+		mtypes := []string{"member", "observer", "applicant"}
+		for i := 0; i < n(1200); i++ {
+			in.MustInsertVals("IsMember", pick(r, countries), pick(r, orgs), pick(r, mtypes))
+		}
+		langs := namePool("Lang", 30)
+		for i := 0; i < n(700); i++ {
+			in.MustInsertVals("Language", pick(r, countries), pick(r, langs), pick(r, pcts))
+		}
+		rels := namePool("Rel", 20)
+		for i := 0; i < n(500); i++ {
+			in.MustInsertVals("Religion", pick(r, countries), pick(r, rels), pick(r, pcts))
+		}
+		for i := 0; i < n(500); i++ {
+			in.MustInsertVals("Border", pick(r, countries), pick(r, countries), pick(r, areas))
+		}
+		lakes := namePool("Lake", n(130))
+		for _, l := range lakes {
+			in.MustInsertVals("Lake", l, pick(r, areas))
+		}
+		for i := 0; i < n(250); i++ {
+			in.MustInsertVals("GeoLake", pick(r, lakes), pick(r, countries), pick(r, provinces), pick(r, pcts))
+		}
+		rivers := namePool("River", n(200))
+		for _, v := range rivers {
+			in.MustInsertVals("River", v, pick(r, areas))
+		}
+		for i := 0; i < n(400); i++ {
+			in.MustInsertVals("GeoRiver", pick(r, rivers), pick(r, countries), pick(r, pcts))
+		}
+		for i, s := range namePool("Sea", n(40)) {
+			in.MustInsertVals("Sea", s, fmt.Sprint((i%9+1)*100))
+		}
+		for _, d := range namePool("Desert", n(40)) {
+			in.MustInsertVals("Desert", d, pick(r, areas))
+		}
+		for _, d := range namePool("Island", n(40)) {
+			in.MustInsertVals("Island", d, pick(r, areas))
+		}
+		for _, m := range namePool("Mountain", n(60)) {
+			in.MustInsertVals("Mountain", m, pick(r, areas))
+		}
+		return in
+	}
+}

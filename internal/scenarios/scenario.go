@@ -1,0 +1,80 @@
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+
+	"muse/internal/cliogen"
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+)
+
+// Scenario is one of the four Sec. VI evaluation scenarios, rebuilt
+// synthetically (see DESIGN.md §3 Substitutions): the schema pair with
+// its constraints, the correspondences fed to the Clio-style
+// generator, and a seeded data generator whose duplication profile
+// mimics the original data set's.
+type Scenario struct {
+	Name string
+	Src  *deps.Set
+	Tgt  *deps.Set
+	// Corrs are the arrows the mapping-generation tool starts from.
+	Corrs []cliogen.Corr
+	// NewInstance generates a deterministic source instance; scale 1
+	// approximates the paper's data size for the scenario.
+	NewInstance func(scale float64) *instance.Instance
+
+	// Paper-reported characteristics (the Sec. VI scenario table), for
+	// side-by-side reporting in EXPERIMENTS.md.
+	PaperSizeMB        float64
+	PaperGroupingSets  int
+	PaperMappings      int
+	PaperAmbiguous     int
+	PaperAvgPoss       float64
+	PaperDAlternatives int // Muse-D table: alternatives encoded (0 = not run)
+	PaperDQuestions    int
+}
+
+// Generate runs the Clio-style generator on the scenario.
+func (s *Scenario) Generate() (*mapping.Set, error) {
+	return cliogen.Generate(s.Src, s.Tgt, s.Corrs)
+}
+
+// GroupingSets counts the target's nested sets (the sets with grouping
+// functions; top-level sets have none).
+func (s *Scenario) GroupingSets() int {
+	n := 0
+	for _, st := range s.Tgt.Cat.Sets {
+		if st.Parent != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// All returns the four evaluation scenarios.
+func All() []*Scenario {
+	return []*Scenario{Mondial(), DBLP(), TPCH(), Amalgam()}
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (*Scenario, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenarios: unknown scenario %q", name)
+}
+
+// rng returns the deterministic random source all generators use, so
+// experiment runs are reproducible.
+func rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// pick returns a pseudo-random element of pool.
+func pick(r *rand.Rand, pool []string) string {
+	return pool[r.Intn(len(pool))]
+}

@@ -1,0 +1,176 @@
+package muse_test
+
+import (
+	"strings"
+	"testing"
+
+	"muse"
+)
+
+// The facade tests drive the whole library through the public API
+// only, the way a downstream user would.
+
+const quickScenario = `
+schema S {
+  Companies: set of record { cid: int, cname: string, location: string },
+  Projects:  set of record { pid: string, pname: string, cid: int }
+}
+schema T {
+  Orgs: set of record {
+    oname: string,
+    Projects: set of record { pname: string }
+  }
+}
+key S.Companies(cid)
+ref f1: S.Projects(cid) -> S.Companies(cid)
+
+correspondence S.Companies.cname -> T.Orgs.oname
+correspondence S.Projects.pname -> T.Orgs.Projects.pname
+
+instance I of S {
+  Companies: (1, "IBM", "NY"), (2, "IBM", "SF"), (3, "SBC", "NY")
+  Projects: (p1, "DB", 1), (p2, "Web", 2), (p3, "WiFi", 3)
+}
+`
+
+func TestPublicAPIGenerateAndChase(t *testing.T) {
+	doc, err := muse.Parse(quickScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := muse.GenerateMappings(doc.Deps["S"], doc.Deps["T"], doc.CorrsBetween("S", "T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Mappings) == 0 {
+		t.Fatal("no mappings generated")
+	}
+	out, err := muse.Chase(doc.Instances["I"], set.Mappings...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TupleCount() == 0 {
+		t.Error("chase produced nothing")
+	}
+	ok, err := muse.IsSolution(doc.Instances["I"], out, set.Mappings...)
+	if err != nil || !ok {
+		t.Errorf("chase result not a solution: %v", err)
+	}
+}
+
+func TestPublicAPIGroupingWizard(t *testing.T) {
+	doc, err := muse.Parse(quickScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := muse.GenerateMappings(doc.Deps["S"], doc.Deps["T"], doc.CorrsBetween("S", "T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the joined mapping (it has a grouping function to design).
+	var m *muse.Mapping
+	for _, cand := range set.Mappings {
+		if len(cand.SKs) > 0 && len(cand.For) > 1 {
+			m = cand
+		}
+	}
+	if m == nil {
+		t.Fatal("no mapping with a grouping function")
+	}
+	fn := m.SKs[0].SK.Fn
+
+	// The designer wants projects grouped by company name.
+	var desired []muse.Expr
+	info, err := m.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range info.SrcOrder {
+		if info.SrcVars[v].HasAtom("cname") {
+			desired = append(desired, muse.E(v, "cname"))
+		}
+	}
+	w := muse.NewGroupingWizard(doc.Deps["S"], doc.Instances["I"])
+	out, err := w.DesignSK(m, fn, muse.NewGroupingOracle(fn, desired))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.SKFor(fn).SK.String()
+	if !strings.Contains(got, ".cname") || strings.Contains(got, ",") {
+		t.Errorf("designed %s, want grouping by cname alone", got)
+	}
+	if w.Stats.TotalQuestions() == 0 {
+		t.Error("wizard asked no questions")
+	}
+}
+
+func TestPublicAPIBuilders(t *testing.T) {
+	schema, err := muse.NewSchema("Z", muse.Record(
+		muse.Field("Items", muse.SetOf(muse.Record(
+			muse.Field("id", muse.IntType()),
+			muse.Field("name", muse.StringType()),
+		))),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := muse.NewCatalog(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := muse.NewInstance(cat)
+	in.MustInsertVals("Items", "1", "alpha")
+	if in.TupleCount() != 1 {
+		t.Error("builder insert failed")
+	}
+	c := muse.NewConstraints(cat)
+	c.MustAddKey("Items", "id")
+	if !c.Valid(in) {
+		t.Error("valid instance rejected")
+	}
+	in.MustInsertVals("Items", "1", "beta")
+	if c.Valid(in) {
+		t.Error("key violation not detected through facade")
+	}
+}
+
+func TestPublicAPIFormatRoundTrip(t *testing.T) {
+	doc, err := muse.Parse(quickScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := muse.FormatDocument(doc)
+	doc2, err := muse.Parse(printed)
+	if err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	if !muse.Isomorphic(doc.Instances["I"], doc2.Instances["I"]) {
+		t.Error("instance changed across round trip")
+	}
+}
+
+func TestPublicAPIStrategyOracle(t *testing.T) {
+	doc, err := muse.Parse(quickScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := muse.GenerateMappings(doc.Deps["S"], doc.Deps["T"], doc.CorrsBetween("S", "T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range set.Mappings {
+		if len(m.SKs) == 0 {
+			continue
+		}
+		for _, strat := range []muse.Strategy{muse.G1, muse.G2, muse.G3} {
+			oracle, err := muse.StrategyOracle(strat, m)
+			if err != nil {
+				t.Fatalf("%s: %v", strat, err)
+			}
+			w := muse.NewGroupingWizard(doc.Deps["S"], nil)
+			if _, err := w.DesignMapping(m, oracle); err != nil {
+				t.Errorf("%s designer failed: %v", strat, err)
+			}
+		}
+	}
+}
