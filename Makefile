@@ -1,0 +1,30 @@
+# Development targets. `make ci` is the gate every change must pass:
+# vet, build, the full test suite under the race detector, and a chase
+# benchmark smoke run (one iteration; catches bit-rot in the bench
+# harness without paying for a full sweep).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkChase' -benchtime=1x .
+
+# Full benchmark sweep with allocation counts; compare against
+# BENCH_baseline.json to track the perf trajectory.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -38,28 +38,57 @@ func BenchmarkChaseFig2(b *testing.B) {
 	}
 }
 
+// scenarioMappings generates a scenario's full (disambiguated)
+// mapping set.
+func scenarioMappings(b *testing.B, s *scenarios.Scenario) []*mapping.Mapping {
+	b.Helper()
+	set, err := s.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ms []*mapping.Mapping
+	for _, m := range set.Mappings {
+		if m.Ambiguous() {
+			m = m.Interpretation(make([]int, len(m.OrGroups)))
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
 // BenchmarkChaseScenario chases a generated instance of each scenario
-// with its full (disambiguated) mapping set.
+// with its full (disambiguated) mapping set, using the parallel
+// per-mapping chase.
 func BenchmarkChaseScenario(b *testing.B) {
 	for _, s := range scenarios.All() {
 		s := s
 		b.Run(s.Name, func(b *testing.B) {
-			set, err := s.Generate()
-			if err != nil {
-				b.Fatal(err)
-			}
-			var ms []*mapping.Mapping
-			for _, m := range set.Mappings {
-				if m.Ambiguous() {
-					m = m.Interpretation(make([]int, len(m.OrGroups)))
-				}
-				ms = append(ms, m)
-			}
+			ms := scenarioMappings(b, s)
 			in := s.NewInstance(0.02)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := chase.Chase(in, ms...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChaseScenarioSerial is the single-threaded reference point
+// for BenchmarkChaseScenario: the gap between the two is the
+// parallel-chase speedup.
+func BenchmarkChaseScenarioSerial(b *testing.B) {
+	for _, s := range scenarios.All() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			ms := scenarioMappings(b, s)
+			in := s.NewInstance(0.02)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.ChaseSerial(in, ms...); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,6 +9,8 @@
 //	musebench -scale 0.2 -timeout 100ms   # faster, smaller instances
 //	musebench -nokeys                 # ablation: no key-based reduction
 //	musebench -noreal                 # ablation: synthetic examples only
+//	musebench -cpuprofile cpu.out     # write a pprof CPU profile
+//	musebench -memprofile mem.out     # write a pprof heap profile
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"muse/internal/bench"
@@ -31,7 +35,34 @@ func main() {
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-question real-example retrieval budget")
 	noKeys := flag.Bool("nokeys", false, "ablation: disable key-based question reduction")
 	noReal := flag.Bool("noreal", false, "ablation: disable real-example retrieval")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	scns := scenarios.All()
 	if *scenario != "" {

@@ -2,6 +2,8 @@ package chase
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"muse/internal/instance"
 	"muse/internal/mapping"
@@ -13,21 +15,111 @@ import (
 // src with each mapping (Sec. II, Fig. 2). All mappings must be
 // unambiguous (interpret ambiguous mappings with Muse-D first) and
 // share the same pair of schemas.
+//
+// With multiple mappings and GOMAXPROCS > 1, each mapping is chased
+// into its own scratch instance across a bounded worker pool and the
+// scratch instances are merged in mapping order, so the result is
+// byte-identical to ChaseSerial's while multi-mapping scenarios scale
+// with cores.
 func Chase(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, error) {
+	infos, tgtCat, err := prepare(ms)
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	if workers <= 1 {
+		return chaseAll(src, ms, infos, tgtCat)
+	}
+	scratch := make([]*instance.Instance, len(ms))
+	errs := make([]error, len(ms))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range ms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out := instance.New(tgtCat)
+			if errs[i] = chaseOne(src, ms[i], infos[i], out); errs[i] == nil {
+				scratch[i] = out
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs { // first failure in mapping order, as in the serial chase
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := instance.New(tgtCat)
+	for _, sc := range scratch {
+		merge(out, sc)
+	}
+	return out, nil
+}
+
+// ChaseSerial is the single-threaded chase, retained as the
+// deterministic reference implementation (and for benchmarking the
+// parallel path against).
+func ChaseSerial(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, error) {
+	infos, tgtCat, err := prepare(ms)
+	if err != nil {
+		return nil, err
+	}
+	return chaseAll(src, ms, infos, tgtCat)
+}
+
+// prepare validates the mapping set and resolves each mapping once,
+// mirroring the serial chase's error order (ambiguity before analysis
+// failure, earliest mapping first).
+func prepare(ms []*mapping.Mapping) ([]*mapping.Info, *nr.Catalog, error) {
 	if len(ms) == 0 {
-		return nil, fmt.Errorf("chase: no mappings given")
+		return nil, nil, fmt.Errorf("chase: no mappings given")
 	}
 	tgtCat := ms[0].Tgt
-	out := instance.New(tgtCat)
-	for _, m := range ms {
+	infos := make([]*mapping.Info, len(ms))
+	for i, m := range ms {
 		if m.Tgt != tgtCat {
-			return nil, fmt.Errorf("chase: mapping %s targets a different schema", m.Name)
+			return nil, nil, fmt.Errorf("chase: mapping %s targets a different schema", m.Name)
 		}
-		if err := chaseOne(src, m, out); err != nil {
+		if m.Ambiguous() {
+			return nil, nil, fmt.Errorf("chase: mapping %s is ambiguous; select an interpretation first", m.Name)
+		}
+		info, err := m.Analyze()
+		if err != nil {
+			return nil, nil, err
+		}
+		infos[i] = info
+	}
+	return infos, tgtCat, nil
+}
+
+func chaseAll(src *instance.Instance, ms []*mapping.Mapping, infos []*mapping.Info, tgtCat *nr.Catalog) (*instance.Instance, error) {
+	out := instance.New(tgtCat)
+	for i, m := range ms {
+		if err := chaseOne(src, m, infos[i], out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// merge set-unions one mapping's scratch result into out. Scratch sets
+// are visited in creation order and tuples in insertion order, so
+// merging the per-mapping results in mapping order reproduces exactly
+// the occurrence and tuple order the serial chase would have produced.
+func merge(out, scratch *instance.Instance) {
+	for _, s := range scratch.AllSets() {
+		dst := out.EnsureSet(s.Type, s.ID)
+		s.Each(func(t *instance.Tuple) bool {
+			dst.Insert(t)
+			return true
+		})
+	}
 }
 
 // MustChase is Chase, panicking on error.
@@ -39,22 +131,12 @@ func MustChase(src *instance.Instance, ms ...*mapping.Mapping) *instance.Instanc
 	return out
 }
 
-func chaseOne(src *instance.Instance, m *mapping.Mapping, out *instance.Instance) error {
-	if m.Ambiguous() {
-		return fmt.Errorf("chase: mapping %s is ambiguous; select an interpretation first", m.Name)
-	}
-	info, err := m.Analyze()
-	if err != nil {
-		return err
-	}
+func chaseOne(src *instance.Instance, m *mapping.Mapping, info *mapping.Info, out *instance.Instance) error {
 	plan, err := planTarget(m, info)
 	if err != nil {
 		return err
 	}
-	e, err := newEvaluator(src, m)
-	if err != nil {
-		return err
-	}
+	e := newEvaluator(src, m, info)
 	return e.each(func(asg assignment) error {
 		return plan.emit(asg, out)
 	})
@@ -85,6 +167,12 @@ type targetPlan struct {
 	// source expressions feeding it (usually one); multiple feeds must
 	// agree at emit time.
 	checkGroups map[mapping.Expr][]mapping.Expr
+	// varPos maps each exists variable to its position in
+	// info.TgtOrder, and built is the per-assignment scratch of target
+	// tuples indexed by it (reused across emits; only the tuples
+	// escape).
+	varPos map[string]int
+	built  []*instance.Tuple
 }
 
 func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
@@ -95,6 +183,11 @@ func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
 		setTerm:    make(map[string]map[string]mapping.SKTerm),
 		childSet:   make(map[string]map[string]*nr.SetType),
 		skolemArgs: m.Poss(),
+		varPos:     make(map[string]int, len(info.TgtOrder)),
+		built:      make([]*instance.Tuple, len(info.TgtOrder)),
+	}
+	for i, v := range info.TgtOrder {
+		p.varPos[v] = i
 	}
 	// Union-find over target atom slots, merged by the exists-satisfy
 	// equalities; where-clause equalities attach source expressions to
@@ -192,8 +285,8 @@ func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
 		skArgs[i] = eval(asg, e)
 	}
 	// Build each exists tuple.
-	built := make(map[string]*instance.Tuple, len(p.info.TgtOrder))
-	for _, v := range p.info.TgtOrder {
+	built := p.built
+	for vi, v := range p.info.TgtOrder {
 		st := p.info.TgtVars[v]
 		t := instance.NewTuple(st)
 		for _, a := range st.Atoms {
@@ -215,17 +308,17 @@ func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
 			// denotes, as in Fig. 2.
 			out.EnsureSet(p.childSet[v][f], ref)
 		}
-		built[v] = t
+		built[vi] = t
 	}
 	// Insert each tuple into its destination set occurrence.
 	for _, g := range p.m.Exists {
-		t := built[g.Var]
+		t := built[p.varPos[g.Var]]
 		st := p.info.TgtVars[g.Var]
 		switch {
 		case g.Root != nil:
 			out.InsertTop(st, t)
 		default:
-			parent := built[g.Parent]
+			parent := built[p.varPos[g.Parent]]
 			ref, ok := parent.Get(g.Field).(*instance.SetRef)
 			if !ok {
 				return fmt.Errorf("chase: %s.%s is not a SetID", g.Parent, g.Field)
@@ -256,11 +349,11 @@ func IsSolution(src, tgt *instance.Instance, ms ...*mapping.Mapping) (bool, erro
 		if m.Ambiguous() {
 			return false, fmt.Errorf("chase: mapping %s is ambiguous", m.Name)
 		}
-		e, err := newEvaluator(src, m)
+		info, err := m.Analyze()
 		if err != nil {
 			return false, err
 		}
-		info := m.MustAnalyze()
+		e := newEvaluator(src, m, info)
 		holds := true
 		err = e.each(func(asg assignment) error {
 			if !holds {
@@ -299,23 +392,27 @@ func existsWitness(tgt *instance.Instance, m *mapping.Mapping, info *mapping.Inf
 	}
 	g := m.Exists[i]
 	st := info.TgtVars[g.Var]
-	var pool []*instance.Tuple
+	var pool *instance.SetVal
 	if g.Root != nil {
-		pool = tgt.Top(st).Tuples()
+		pool = tgt.Top(st)
 	} else {
 		parent := bound[g.Parent]
 		if ref, ok := parent.Get(g.Field).(*instance.SetRef); ok {
-			if occ := tgt.Set(ref); occ != nil {
-				pool = occ.Tuples()
-			}
+			pool = tgt.Set(ref)
 		}
 	}
-	for _, t := range pool {
+	if pool == nil {
+		return false
+	}
+	found := false
+	pool.Each(func(t *instance.Tuple) bool {
 		bound[g.Var] = t
 		if existsWitness(tgt, m, info, asg, i+1, bound) {
-			return true
+			found = true
+			return false
 		}
 		delete(bound, g.Var)
-	}
-	return false
+		return true
+	})
+	return found
 }

@@ -8,6 +8,8 @@
 package chase
 
 import (
+	"strings"
+
 	"muse/internal/instance"
 	"muse/internal/mapping"
 	"muse/internal/nr"
@@ -18,26 +20,35 @@ type assignment map[string]*instance.Tuple
 
 // evaluator enumerates the satisfying assignments of a mapping's for
 // clause over a source instance, using hash indexes for join
-// predicates on top-level sets.
+// predicates on top-level sets. Indexes may be composite: when several
+// equality predicates bind a generator against already-bound
+// variables, one multi-attribute index probe replaces a
+// single-attribute probe plus residual filtering.
 type evaluator struct {
 	src  *instance.Instance
 	m    *mapping.Mapping
 	info *mapping.Info
 
-	// indexes caches, per "setPath\x00attr", a map from value key to
-	// the tuples of the set's top occurrence carrying that value.
+	// indexes caches, per "setPath\x00attr1\x01attr2...", a map from
+	// the concatenated value keys to the tuples of the set's top
+	// occurrence carrying those values.
 	indexes map[string]map[string][]*instance.Tuple
 
 	// joinAt[i] lists the equality predicates that become checkable
 	// once generator i is bound (both variables bound at or before i).
 	joinAt [][]mapping.Eq
+
+	// probeAttrs/probeVals/probeKey are scratch buffers reused across
+	// candidate lookups to keep the enumeration allocation-free.
+	probeAttrs []string
+	probeVals  []instance.Value
+	probeKey   []byte
 }
 
-func newEvaluator(src *instance.Instance, m *mapping.Mapping) (*evaluator, error) {
-	info, err := m.Analyze()
-	if err != nil {
-		return nil, err
-	}
+// newEvaluator builds the enumeration plan from a mapping's memoized
+// analysis (callers obtain info once via m.Analyze and thread it
+// through, so analysis runs once per mapping per process).
+func newEvaluator(src *instance.Instance, m *mapping.Mapping, info *mapping.Info) *evaluator {
 	e := &evaluator{src: src, m: m, info: info, indexes: make(map[string]map[string][]*instance.Tuple)}
 	pos := make(map[string]int, len(m.For))
 	for i, g := range m.For {
@@ -52,7 +63,7 @@ func newEvaluator(src *instance.Instance, m *mapping.Mapping) (*evaluator, error
 		}
 		e.joinAt[at] = append(e.joinAt[at], q)
 	}
-	return e, nil
+	return e
 }
 
 // each invokes fn for every assignment satisfying the for clause.
@@ -65,7 +76,8 @@ func (e *evaluator) enumerate(i int, asg assignment, fn func(assignment) error) 
 		return fn(asg)
 	}
 	g := e.m.For[i]
-	for _, t := range e.candidates(i, g, asg) {
+	var err error
+	e.eachCandidate(i, g, asg, func(t *instance.Tuple) bool {
 		asg[g.Var] = t
 		ok := true
 		for _, q := range e.joinAt[i] {
@@ -75,33 +87,69 @@ func (e *evaluator) enumerate(i int, asg assignment, fn func(assignment) error) 
 			}
 		}
 		if ok {
-			if err := e.enumerate(i+1, asg, fn); err != nil {
-				return err
+			if err = e.enumerate(i+1, asg, fn); err != nil {
+				return false
 			}
 		}
 		delete(asg, g.Var)
-	}
-	return nil
+		return true
+	})
+	return err
 }
 
-// candidates returns the tuples generator i may bind to, narrowed by
-// one indexed join predicate when available.
-func (e *evaluator) candidates(i int, g mapping.Gen, asg assignment) []*instance.Tuple {
+// eachCandidate visits the tuples generator i may bind to, narrowed by
+// every indexable join predicate at once when available, stopping
+// early when fn returns false.
+func (e *evaluator) eachCandidate(i int, g mapping.Gen, asg assignment, fn func(*instance.Tuple) bool) {
 	st := e.info.SrcVars[g.Var]
 	if g.Parent != "" {
 		parent := asg[g.Parent]
 		ref, _ := parent.Get(g.Field).(*instance.SetRef)
 		if ref == nil {
-			return nil
+			return
 		}
 		occ := e.src.Set(ref)
 		if occ == nil {
-			return nil
+			return
 		}
-		return occ.Tuples()
+		occ.Each(fn)
+		return
 	}
-	// Top-level set: try an equality that joins this generator to an
-	// already-bound variable, and probe the index with it.
+	// Top-level set: gather every equality that joins this generator to
+	// an already-bound variable and probe one (possibly composite)
+	// index with all of them.
+	attrs, vals, ok := e.probe(i, g, asg)
+	if !ok {
+		return // a bound join value is nil: nothing can match
+	}
+	if len(attrs) == 0 {
+		e.src.Top(st).Each(fn)
+		return
+	}
+	key := e.probeKey[:0]
+	for j, v := range vals {
+		if j > 0 {
+			key = append(key, '\x00')
+		}
+		key = instance.AppendValueKey(key, v)
+	}
+	e.probeKey = key
+	for _, t := range e.index(st, attrs)[string(key)] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// probe collects the generator's indexable join predicates: the
+// attributes of g's set to index on, and the already-bound values to
+// probe with. ok=false means the first probeable predicate's bound
+// value is nil, so the generator has no candidates (mirroring the
+// single-index behavior). Predicates whose bound value is nil beyond
+// the first are left to the residual joinAt check.
+func (e *evaluator) probe(i int, g mapping.Gen, asg assignment) (attrs []string, vals []instance.Value, ok bool) {
+	attrs, vals = e.probeAttrs[:0], e.probeVals[:0]
+	defer func() { e.probeAttrs, e.probeVals = attrs[:0], vals[:0] }()
 	for _, q := range e.joinAt[i] {
 		var mine, other mapping.Expr
 		switch {
@@ -118,24 +166,44 @@ func (e *evaluator) candidates(i int, g mapping.Gen, asg assignment) []*instance
 		}
 		v := bound.Get(other.Attr)
 		if v == nil {
-			return nil
+			if len(attrs) == 0 {
+				return nil, nil, false
+			}
+			continue
 		}
-		return e.index(st, mine.Attr)[v.Key()]
+		attrs = append(attrs, mine.Attr)
+		vals = append(vals, v)
 	}
-	return e.src.Top(st).Tuples()
+	return attrs, vals, true
 }
 
-func (e *evaluator) index(st *nr.SetType, attr string) map[string][]*instance.Tuple {
-	key := st.Path.String() + "\x00" + attr
+// index builds (or returns the cached) hash index of a top-level set
+// over the given attribute combination. Tuples with a nil slot in any
+// indexed attribute are omitted: they cannot equal a non-nil probe
+// value.
+func (e *evaluator) index(st *nr.SetType, attrs []string) map[string][]*instance.Tuple {
+	key := st.Path.String() + "\x00" + strings.Join(attrs, "\x01")
 	if idx, ok := e.indexes[key]; ok {
 		return idx
 	}
 	idx := make(map[string][]*instance.Tuple)
-	for _, t := range e.src.Top(st).Tuples() {
-		if v := t.Get(attr); v != nil {
-			idx[v.Key()] = append(idx[v.Key()], t)
+	var buf []byte
+	e.src.Top(st).Each(func(t *instance.Tuple) bool {
+		buf = buf[:0]
+		for j, a := range attrs {
+			v := t.Get(a)
+			if v == nil {
+				return true
+			}
+			if j > 0 {
+				buf = append(buf, '\x00')
+			}
+			buf = instance.AppendValueKey(buf, v)
 		}
-	}
+		k := string(buf)
+		idx[k] = append(idx[k], t)
+		return true
+	})
 	e.indexes[key] = idx
 	return idx
 }
@@ -144,10 +212,11 @@ func (e *evaluator) index(st *nr.SetType, attr string) map[string][]*instance.Tu
 // over src (copied maps, safe to retain). Exported for the query
 // engine's and wizards' reuse in tests.
 func Assignments(src *instance.Instance, m *mapping.Mapping) ([]map[string]*instance.Tuple, error) {
-	e, err := newEvaluator(src, m)
+	info, err := m.Analyze()
 	if err != nil {
 		return nil, err
 	}
+	e := newEvaluator(src, m, info)
 	var out []map[string]*instance.Tuple
 	err = e.each(func(a assignment) error {
 		cp := make(map[string]*instance.Tuple, len(a))

@@ -82,10 +82,11 @@ const searchBudget = 1 << 21
 // destination at all.
 func (s *searcher) newObligation(src, dst *instance.SetVal) (obligation, bool) {
 	tuples := src.Tuples()
+	cands := dst.Tuples()
 	counts := make(map[*instance.Tuple]int, len(tuples))
 	for _, t := range tuples {
 		n := 0
-		for _, cand := range dst.Tuples() {
+		for _, cand := range cands {
 			if s.shapeCompatible(t, cand) {
 				n++
 			}
@@ -104,27 +105,38 @@ func (s *searcher) newObligation(src, dst *instance.SetVal) (obligation, bool) {
 // match exactly, nulls can only land on nulls (or constants when not
 // injective), SetIDs only on SetIDs.
 func (s *searcher) shapeCompatible(t, cand *instance.Tuple) bool {
-	for _, label := range append(append([]string{}, t.Set.Atoms...), t.Set.SetFields...) {
-		v, cv := t.Get(label), cand.Get(label)
-		if (v == nil) != (cv == nil) {
+	for _, label := range t.Set.Atoms {
+		if !s.slotCompatible(t.Get(label), cand.Get(label)) {
 			return false
 		}
-		if v == nil {
-			continue
+	}
+	for _, label := range t.Set.SetFields {
+		if !s.slotCompatible(t.Get(label), cand.Get(label)) {
+			return false
 		}
-		switch v.(type) {
-		case instance.Const:
-			if !instance.SameValue(v, cv) {
-				return false
-			}
-		case *instance.Null:
-			if instance.IsSetRef(cv) || (s.injective && !instance.IsNull(cv)) {
-				return false
-			}
-		case *instance.SetRef:
-			if !instance.IsSetRef(cv) {
-				return false
-			}
+	}
+	return true
+}
+
+func (s *searcher) slotCompatible(v, cv instance.Value) bool {
+	if (v == nil) != (cv == nil) {
+		return false
+	}
+	if v == nil {
+		return true
+	}
+	switch v.(type) {
+	case instance.Const:
+		if !instance.SameValue(v, cv) {
+			return false
+		}
+	case *instance.Null:
+		if instance.IsSetRef(cv) || (s.injective && !instance.IsNull(cv)) {
+			return false
+		}
+	case *instance.SetRef:
+		if !instance.IsSetRef(cv) {
+			return false
 		}
 	}
 	return true
@@ -302,61 +314,71 @@ func mapUsedKey(injective bool, v instance.Value) string {
 func (s *searcher) unifyTuple(t, cand *instance.Tuple) ([]obligation, bool) {
 	var newObs []obligation
 	st := t.Set
-	for _, label := range append(append([]string{}, st.Atoms...), st.SetFields...) {
-		v := t.Get(label)
-		cv := cand.Get(label)
-		if v == nil && cv == nil {
-			continue
-		}
-		if v == nil || cv == nil {
+	for _, label := range st.Atoms {
+		if !s.unifySlot(t.Get(label), cand.Get(label), &newObs) {
 			return nil, false
 		}
-		switch val := v.(type) {
-		case instance.Const:
-			// h is the identity on constants.
-			if !instance.SameValue(val, cv) {
-				return nil, false
-			}
-		case *instance.Null:
-			// Nulls map to constants or nulls, consistently. Under an
-			// isomorphism a null must map to a null: a null→constant
-			// image has no constant-preserving inverse.
-			if instance.IsSetRef(cv) {
-				return nil, false
-			}
-			if s.injective && !instance.IsNull(cv) {
-				return nil, false
-			}
-			if !s.bind(val.Key(), cv) {
-				return nil, false
-			}
-		case *instance.SetRef:
-			// SetIDs map to SetIDs of the same set type.
-			cref, ok := cv.(*instance.SetRef)
-			if !ok {
-				return nil, false
-			}
-			already := s.bindings[val.Key()]
-			if !s.bind(val.Key(), cref) {
-				return nil, false
-			}
-			if already == nil {
-				// First time this SetID is bound: its members must map
-				// into the destination occurrence.
-				srcOcc := s.a.Set(val)
-				dstOcc := s.b.Set(cref)
-				if srcOcc != nil && srcOcc.Len() > 0 {
-					if dstOcc == nil {
-						return nil, false
-					}
-					ob, ok := s.newObligation(srcOcc, dstOcc)
-					if !ok {
-						return nil, false
-					}
-					newObs = append(newObs, ob)
-				}
-			}
+	}
+	for _, label := range st.SetFields {
+		if !s.unifySlot(t.Get(label), cand.Get(label), &newObs) {
+			return nil, false
 		}
 	}
 	return newObs, true
+}
+
+func (s *searcher) unifySlot(v, cv instance.Value, newObs *[]obligation) bool {
+	if v == nil && cv == nil {
+		return true
+	}
+	if v == nil || cv == nil {
+		return false
+	}
+	switch val := v.(type) {
+	case instance.Const:
+		// h is the identity on constants.
+		if !instance.SameValue(val, cv) {
+			return false
+		}
+	case *instance.Null:
+		// Nulls map to constants or nulls, consistently. Under an
+		// isomorphism a null must map to a null: a null→constant
+		// image has no constant-preserving inverse.
+		if instance.IsSetRef(cv) {
+			return false
+		}
+		if s.injective && !instance.IsNull(cv) {
+			return false
+		}
+		if !s.bind(val.Key(), cv) {
+			return false
+		}
+	case *instance.SetRef:
+		// SetIDs map to SetIDs of the same set type.
+		cref, ok := cv.(*instance.SetRef)
+		if !ok {
+			return false
+		}
+		already := s.bindings[val.Key()]
+		if !s.bind(val.Key(), cref) {
+			return false
+		}
+		if already == nil {
+			// First time this SetID is bound: its members must map
+			// into the destination occurrence.
+			srcOcc := s.a.Set(val)
+			dstOcc := s.b.Set(cref)
+			if srcOcc != nil && srcOcc.Len() > 0 {
+				if dstOcc == nil {
+					return false
+				}
+				ob, ok := s.newObligation(srcOcc, dstOcc)
+				if !ok {
+					return false
+				}
+				*newObs = append(*newObs, ob)
+			}
+		}
+	}
+	return true
 }

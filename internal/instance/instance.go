@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"muse/internal/nr"
 )
@@ -14,6 +15,11 @@ import (
 type Tuple struct {
 	Set  *nr.SetType
 	Vals map[string]Value
+
+	// key caches the canonical encoding; Put invalidates it. The cache
+	// is atomic so read-only sharing across chase workers is race-free
+	// (concurrent mutation via Put is not supported, as before).
+	key atomic.Pointer[string]
 }
 
 // NewTuple creates an empty tuple of the given set type.
@@ -27,26 +33,32 @@ func (t *Tuple) Get(label string) Value { return t.Vals[label] }
 // Set assigns the value at label and returns the tuple for chaining.
 func (t *Tuple) Put(label string, v Value) *Tuple {
 	t.Vals[label] = v
+	t.key.Store(nil)
 	return t
 }
 
 // Key returns the canonical encoding of the tuple: values in the set
 // type's declared field order. Unset slots encode as empty.
 func (t *Tuple) Key() string {
-	var b strings.Builder
+	if k := t.key.Load(); k != nil {
+		return *k
+	}
+	b := make([]byte, 0, 16*(len(t.Set.Atoms)+len(t.Set.SetFields)))
 	for _, a := range t.Set.Atoms {
 		if v := t.Vals[a]; v != nil {
-			b.WriteString(v.Key())
+			b = v.appendKey(b)
 		}
-		b.WriteByte('\x04')
+		b = append(b, '\x04')
 	}
 	for _, f := range t.Set.SetFields {
 		if v := t.Vals[f]; v != nil {
-			b.WriteString(v.Key())
+			b = v.appendKey(b)
 		}
-		b.WriteByte('\x04')
+		b = append(b, '\x04')
 	}
-	return b.String()
+	k := string(b)
+	t.key.Store(&k)
+	return k
 }
 
 // Clone returns a copy of the tuple sharing values (values are
@@ -86,7 +98,7 @@ type SetVal struct {
 	Type   *nr.SetType
 	ID     *SetRef
 	tuples map[string]*Tuple
-	order  []string // insertion order of keys, for stable iteration
+	list   []*Tuple // insertion order, for stable iteration
 }
 
 func newSetVal(st *nr.SetType, id *SetRef) *SetVal {
@@ -107,17 +119,25 @@ func (s *SetVal) Insert(t *Tuple) bool {
 		return false
 	}
 	s.tuples[k] = t
-	s.order = append(s.order, k)
+	s.list = append(s.list, t)
 	return true
 }
 
-// Tuples returns the tuples in insertion order.
-func (s *SetVal) Tuples() []*Tuple {
-	out := make([]*Tuple, 0, len(s.order))
-	for _, k := range s.order {
-		out = append(out, s.tuples[k])
+// Each invokes fn for every tuple in insertion order, stopping early
+// when fn returns false. Unlike Tuples it allocates nothing; hot loops
+// (the chase evaluator, index builders) should prefer it.
+func (s *SetVal) Each(fn func(*Tuple) bool) {
+	for _, t := range s.list {
+		if !fn(t) {
+			return
+		}
 	}
-	return out
+}
+
+// Tuples returns a fresh slice of the tuples in insertion order (safe
+// for callers to reorder).
+func (s *SetVal) Tuples() []*Tuple {
+	return append([]*Tuple(nil), s.list...)
 }
 
 // Contains reports whether an equal tuple is present.
@@ -135,14 +155,16 @@ type Instance struct {
 	Cat    *nr.Catalog
 	sets   map[string]*SetVal // SetRef key → occurrence
 	order  []string           // insertion order of SetRef keys
+	tops   map[*nr.SetType]*SetVal
 }
 
 // New creates an empty instance of the schema, with the top-level set
 // occurrences pre-created.
 func New(cat *nr.Catalog) *Instance {
-	inst := &Instance{Schema: cat.Schema, Cat: cat, sets: make(map[string]*SetVal)}
+	inst := &Instance{Schema: cat.Schema, Cat: cat,
+		sets: make(map[string]*SetVal), tops: make(map[*nr.SetType]*SetVal)}
 	for _, st := range cat.TopLevel() {
-		inst.EnsureSet(st, TopID(st))
+		inst.tops[st] = inst.EnsureSet(st, TopID(st))
 	}
 	return inst
 }
@@ -168,8 +190,17 @@ func (in *Instance) EnsureSet(st *nr.SetType, id *SetRef) *SetVal {
 // Set returns the occurrence with the given SetID, or nil.
 func (in *Instance) Set(id *SetRef) *SetVal { return in.sets[id.Key()] }
 
-// Top returns the unique occurrence of a top-level set type.
-func (in *Instance) Top(st *nr.SetType) *SetVal { return in.EnsureSet(st, TopID(st)) }
+// Top returns the unique occurrence of a top-level set type. The
+// occurrences of the instance's own catalog are cached at construction
+// so the lookup skips re-minting the SetID; the cache is never written
+// afterwards, keeping concurrent read-only use (the parallel chase)
+// race-free.
+func (in *Instance) Top(st *nr.SetType) *SetVal {
+	if s, ok := in.tops[st]; ok {
+		return s
+	}
+	return in.EnsureSet(st, TopID(st))
+}
 
 // Occurrences returns all occurrences of the given set type, in
 // creation order.
@@ -242,7 +273,8 @@ func (in *Instance) SizeBytes() int {
 // Clone returns a deep copy of the instance (tuples copied, values
 // shared).
 func (in *Instance) Clone() *Instance {
-	c := &Instance{Schema: in.Schema, Cat: in.Cat, sets: make(map[string]*SetVal, len(in.sets))}
+	c := &Instance{Schema: in.Schema, Cat: in.Cat,
+		sets: make(map[string]*SetVal, len(in.sets)), tops: make(map[*nr.SetType]*SetVal)}
 	for _, k := range in.order {
 		s := in.sets[k]
 		ns := newSetVal(s.Type, s.ID)
@@ -251,6 +283,11 @@ func (in *Instance) Clone() *Instance {
 		}
 		c.sets[k] = ns
 		c.order = append(c.order, k)
+	}
+	for st, s := range in.tops {
+		if ns, ok := c.sets[s.ID.Key()]; ok {
+			c.tops[st] = ns
+		}
 	}
 	return c
 }

@@ -1,0 +1,81 @@
+package instance
+
+import (
+	"testing"
+
+	"muse/internal/nr"
+)
+
+// TestKeyMemoizationStable asserts that the cached canonical keys of
+// nulls, SetIDs, and tuples stay stable across repeated calls, and
+// that the tuple cache is invalidated by Put.
+func TestKeyMemoizationStable(t *testing.T) {
+	n := NewNull("N_f", C("a"), CI(7))
+	first := n.Key()
+	for i := 0; i < 3; i++ {
+		if got := n.Key(); got != first {
+			t.Fatalf("Null.Key changed across calls: %q then %q", first, got)
+		}
+	}
+	if fresh := NewNull("N_f", C("a"), CI(7)).Key(); fresh != first {
+		t.Fatalf("structurally equal nulls have different keys: %q vs %q", first, fresh)
+	}
+
+	r := NewSetRef("SKProjects", C("IBM"), n)
+	rk := r.Key()
+	if got := r.Key(); got != rk {
+		t.Fatalf("SetRef.Key changed across calls: %q then %q", rk, got)
+	}
+	if fresh := NewSetRef("SKProjects", C("IBM"), NewNull("N_f", C("a"), CI(7))).Key(); fresh != rk {
+		t.Fatalf("structurally equal SetRefs have different keys: %q vs %q", rk, fresh)
+	}
+}
+
+func TestTupleKeyInvalidatedByPut(t *testing.T) {
+	cat := nr.MustCatalog(nr.MustSchema("S", nr.Record(
+		nr.F("R", nr.SetOf(nr.Record(
+			nr.F("a", nr.StringType()),
+			nr.F("b", nr.StringType()),
+		))),
+	)))
+	st := cat.ByPath(nr.ParsePath("R"))
+	tp := NewTuple(st).Put("a", C("x")).Put("b", C("y"))
+	k1 := tp.Key()
+	if got := tp.Key(); got != k1 {
+		t.Fatalf("Tuple.Key changed across calls: %q then %q", k1, got)
+	}
+	tp.Put("b", C("z"))
+	k2 := tp.Key()
+	if k2 == k1 {
+		t.Fatal("Tuple.Key not invalidated by Put")
+	}
+	want := NewTuple(st).Put("a", C("x")).Put("b", C("z")).Key()
+	if k2 != want {
+		t.Fatalf("mutated tuple key %q differs from freshly built %q", k2, want)
+	}
+}
+
+func TestSameValueFastPaths(t *testing.T) {
+	n := NewNull("N", C("1"))
+	cases := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"nil both", nil, nil, true},
+		{"nil one", nil, C("x"), false},
+		{"same pointer", n, n, true},
+		{"equal consts", C("x"), C("x"), true},
+		{"unequal consts", C("x"), C("y"), false},
+		{"const vs null", C("x"), NewNull("N"), false},
+		{"null vs setref", NewNull("N"), NewSetRef("N"), false},
+		{"equal nulls", NewNull("N", C("1")), NewNull("N", C("1")), true},
+		{"unequal nulls", NewNull("N", C("1")), NewNull("N", C("2")), false},
+		{"equal setrefs", NewSetRef("SK", C("1")), NewSetRef("SK", C("1")), true},
+	}
+	for _, c := range cases {
+		if got := SameValue(c.a, c.b); got != c.want {
+			t.Errorf("%s: SameValue = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package instance
 import (
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Value is a value occurring in an instance: a Const, a Null, or a
@@ -19,6 +20,10 @@ type Value interface {
 	Key() string
 	// String renders the value for display.
 	String() string
+	// appendKey appends the canonical encoding to b and returns the
+	// extended slice; hot paths use it to compose lookup keys without
+	// intermediate strings.
+	appendKey(b []byte) []byte
 	isValue()
 }
 
@@ -34,6 +39,11 @@ func (c Const) isValue() {}
 // Key implements Value.
 func (c Const) Key() string { return "c\x00" + c.S }
 
+func (c Const) appendKey(b []byte) []byte {
+	b = append(b, 'c', 0)
+	return append(b, c.S...)
+}
+
 // String implements Value.
 func (c Const) String() string { return c.S }
 
@@ -46,20 +56,32 @@ func CI(i int) Const { return Const{S: strconv.Itoa(i)} }
 // Null is a labeled null, Skolemized: two nulls created for the same
 // reason (same function symbol, same arguments) are the same null.
 // A Null with no arguments is a plain named null (N1, N2, ...).
+//
+// Nulls are immutable, so the canonical key is computed once on first
+// use and cached; the cache is an atomic pointer so concurrent chase
+// workers sharing source values stay race-free.
 type Null struct {
 	Fn   string
 	Args []Value
+
+	key atomic.Pointer[string]
 }
 
 func (n *Null) isValue() {}
 
 // Key implements Value.
 func (n *Null) Key() string {
-	var b strings.Builder
-	b.WriteString("n\x00")
-	writeTerm(&b, n.Fn, n.Args)
-	return b.String()
+	if k := n.key.Load(); k != nil {
+		return *k
+	}
+	b := make([]byte, 0, keySize(n.Fn, n.Args))
+	b = append(b, 'n', 0)
+	k := string(appendTerm(b, n.Fn, n.Args))
+	n.key.Store(&k)
+	return k
 }
+
+func (n *Null) appendKey(b []byte) []byte { return append(b, n.Key()...) }
 
 // String implements Value.
 func (n *Null) String() string {
@@ -78,20 +100,30 @@ func NewNull(fn string, args ...Value) *Null { return &Null{Fn: fn, Args: args} 
 // grouping (Skolem) function applied to argument values, e.g.
 // SKProjs(111, IBM, Almaden). Top-level sets have a SetRef with the
 // set's path as function symbol and no arguments.
+//
+// SetRefs are immutable; the canonical key is cached like Null's.
 type SetRef struct {
 	Fn   string
 	Args []Value
+
+	key atomic.Pointer[string]
 }
 
 func (s *SetRef) isValue() {}
 
 // Key implements Value.
 func (s *SetRef) Key() string {
-	var b strings.Builder
-	b.WriteString("s\x00")
-	writeTerm(&b, s.Fn, s.Args)
-	return b.String()
+	if k := s.key.Load(); k != nil {
+		return *k
+	}
+	b := make([]byte, 0, keySize(s.Fn, s.Args))
+	b = append(b, 's', 0)
+	k := string(appendTerm(b, s.Fn, s.Args))
+	s.key.Store(&k)
+	return k
 }
+
+func (s *SetRef) appendKey(b []byte) []byte { return append(b, s.Key()...) }
 
 // String implements Value.
 func (s *SetRef) String() string {
@@ -103,16 +135,33 @@ func (s *SetRef) String() string {
 // NewSetRef constructs a SetID term.
 func NewSetRef(fn string, args ...Value) *SetRef { return &SetRef{Fn: fn, Args: args} }
 
-func writeTerm(b *strings.Builder, fn string, args []Value) {
-	b.WriteString(fn)
-	b.WriteByte('\x01')
+// appendTerm appends the canonical term encoding, composing argument
+// keys in place (no intermediate strings for Const arguments).
+func appendTerm(b []byte, fn string, args []Value) []byte {
+	b = append(b, fn...)
+	b = append(b, '\x01')
 	for i, a := range args {
 		if i > 0 {
-			b.WriteByte('\x02')
+			b = append(b, '\x02')
 		}
-		b.WriteString(a.Key())
+		b = a.appendKey(b)
 	}
-	b.WriteByte('\x03')
+	return append(b, '\x03')
+}
+
+// keySize estimates the encoded term length, to size the key buffer in
+// one allocation.
+func keySize(fn string, args []Value) int {
+	n := len(fn) + 4
+	for _, a := range args {
+		switch v := a.(type) {
+		case Const:
+			n += len(v.S) + 3
+		default:
+			n += 24
+		}
+	}
+	return n
 }
 
 func writeTermDisplay(b *strings.Builder, fn string, args []Value) {
@@ -127,11 +176,37 @@ func writeTermDisplay(b *strings.Builder, fn string, args []Value) {
 	b.WriteByte(')')
 }
 
+// AppendValueKey appends v's canonical key to b and returns the
+// extended slice, without building an intermediate string. Nil values
+// append nothing.
+func AppendValueKey(b []byte, v Value) []byte {
+	if v == nil {
+		return b
+	}
+	return v.appendKey(b)
+}
+
 // SameValue reports value equality via canonical keys. Nil values are
-// equal only to each other.
+// equal only to each other. Identical values, constant pairs, and
+// kind mismatches are decided without touching the keys.
 func SameValue(a, b Value) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
+	}
+	if a == b {
+		return true
+	}
+	ca, aConst := a.(Const)
+	cb, bConst := b.(Const)
+	if aConst || bConst {
+		return aConst && bConst && ca.S == cb.S
+	}
+	if _, ok := a.(*Null); ok {
+		if _, ok := b.(*Null); !ok {
+			return false
+		}
+	} else if _, ok := b.(*SetRef); !ok {
+		return false
 	}
 	return a.Key() == b.Key()
 }

@@ -41,9 +41,11 @@ func (in *Info) IsTgtVar(v string) bool { _, ok := in.TgtVars[v]; return ok }
 // side of the mapping; or-group alternatives are source expressions
 // over one target element; and grouping assignments name target set
 // fields with source-expression arguments.
+// Analyze is idempotent and safe for concurrent use: the first call
+// computes the Info, later calls return the memoized result.
 func (m *Mapping) Analyze() (*Info, error) {
-	if m.info != nil {
-		return m.info, nil
+	if in := m.info.Load(); in != nil {
+		return in, nil
 	}
 	info := &Info{
 		M:       m,
@@ -115,7 +117,14 @@ func (m *Mapping) Analyze() (*Info, error) {
 			}
 		}
 	}
-	m.info = info
+	// Racing analyzers compute identical Infos (analysis is a pure
+	// function of the mapping); keep the first one stored so every
+	// caller sees the same pointer afterwards.
+	if !m.info.CompareAndSwap(nil, info) {
+		if in := m.info.Load(); in != nil {
+			return in, nil
+		}
+	}
 	return info, nil
 }
 
@@ -129,7 +138,7 @@ func (m *Mapping) MustAnalyze() *Info {
 }
 
 // invalidate drops the cached resolution after a structural edit.
-func (m *Mapping) invalidate() { m.info = nil }
+func (m *Mapping) invalidate() { m.info.Store(nil) }
 
 func resolveGens(name string, cat *nr.Catalog, gens []Gen, vars map[string]*nr.SetType, order *[]string, alsoBound map[string]*nr.SetType) error {
 	for _, g := range gens {

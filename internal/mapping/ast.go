@@ -20,6 +20,7 @@ package mapping
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"muse/internal/nr"
 )
@@ -132,7 +133,11 @@ type Mapping struct {
 	// field populated by the mapping.
 	SKs []SKAssign
 
-	info *Info // lazily computed resolution result
+	// info caches the resolution result. It is an atomic pointer so
+	// Analyze is safe to call from concurrent chase workers and the
+	// speculative-prefetch goroutines; structural edits clear it via
+	// invalidate.
+	info atomic.Pointer[Info]
 }
 
 // Ambiguous reports whether the mapping has any or-groups.

@@ -140,8 +140,16 @@ func NewMappingSet(src, tgt *Catalog, ms ...*Mapping) (*MappingSet, error) {
 // --- chase and comparison ---
 
 // Chase chases src with the mappings, producing the canonical
-// universal solution (Fig. 2 of the paper).
+// universal solution (Fig. 2 of the paper). Multi-mapping chases run
+// each mapping on its own core when available; the output is
+// byte-identical to ChaseSerial's.
 func Chase(src *Instance, ms ...*Mapping) (*Instance, error) { return chase.Chase(src, ms...) }
+
+// ChaseSerial is the single-threaded chase, retained as the
+// deterministic reference implementation.
+func ChaseSerial(src *Instance, ms ...*Mapping) (*Instance, error) {
+	return chase.ChaseSerial(src, ms...)
+}
 
 // IsSolution reports whether tgt is a solution for src under the
 // mappings.
