@@ -1,13 +1,15 @@
 # Development targets. `make ci` is the gate every change must pass:
-# vet, build, the full test suite under the race detector, and a chase
-# benchmark smoke run (one iteration; catches bit-rot in the bench
-# harness without paying for a full sweep).
+# vet, build, the full test suite under the race detector, a focused
+# race pass over the retrieval path (concurrent index building in
+# internal/query + the wizards' prefetch workers), and benchmark smoke
+# runs (one iteration; catch bit-rot in the bench harness without
+# paying for a full sweep).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race race-retrieval bench-smoke bench
 
-ci: vet build race bench-smoke
+ci: vet build race race-retrieval bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,10 +23,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-retrieval:
+	$(GO) test -race -count=1 ./internal/query ./internal/core
+
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkChase' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkChase|BenchmarkProbeRetrieval' -benchtime=1x .
 
 # Full benchmark sweep with allocation counts; compare against
-# BENCH_baseline.json to track the perf trajectory.
+# BENCH_baseline.json (chase) and BENCH_retrieval_baseline.json
+# (retrieval) to track the perf trajectory.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

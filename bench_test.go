@@ -225,6 +225,90 @@ func BenchmarkRealExampleRetrieval(b *testing.B) {
 	}
 }
 
+// --- retrieval benchmarks (the Q_Ie path; BENCH_retrieval_baseline.json) ---
+
+// retrievalMapping picks, deterministically, a scenario mapping that
+// exercises the retrieval path: unambiguous, with grouping functions to
+// design and (preferably) a join in the for clause.
+func retrievalMapping(b *testing.B, s *scenarios.Scenario) *mapping.Mapping {
+	b.Helper()
+	set, err := s.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fallback *mapping.Mapping
+	for _, m := range set.Mappings {
+		if m.Ambiguous() || len(m.SKs) == 0 {
+			continue
+		}
+		if len(m.For) >= 2 {
+			return m
+		}
+		if fallback == nil {
+			fallback = m
+		}
+	}
+	if fallback == nil {
+		b.Skipf("%s has no unambiguous mapping with grouping functions", s.Name)
+	}
+	return fallback
+}
+
+// BenchmarkProbeRetrieval measures real-example retrieval across a
+// whole Muse-G session: one wizard designs the same mapping's grouping
+// functions repeatedly against a scenario-scale real instance, so
+// per-session retrieval state (index reuse) is amortized across
+// iterations — the warm half of the cold-vs-warm pair.
+func BenchmarkProbeRetrieval(b *testing.B) {
+	for _, s := range scenarios.All() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			in := s.NewInstance(0.1)
+			m := retrievalMapping(b, s)
+			oracle, err := designer.StrategyOracle(designer.G1, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := core.NewGroupingWizard(s.Src, in)
+			w.Timeout = 100 * time.Millisecond
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.DesignMapping(m, oracle); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProbeRetrievalCold is the cold half of the pair: a fresh
+// wizard (and thus fresh per-session retrieval state) every iteration.
+// The gap to BenchmarkProbeRetrieval is the benefit of reusing indexes
+// across a design session.
+func BenchmarkProbeRetrievalCold(b *testing.B) {
+	for _, s := range scenarios.All() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			in := s.NewInstance(0.1)
+			m := retrievalMapping(b, s)
+			oracle, err := designer.StrategyOracle(designer.G1, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := core.NewGroupingWizard(s.Src, in)
+				w.Timeout = 100 * time.Millisecond
+				if _, err := w.DesignMapping(m, oracle); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkIsomorphism measures the scenario comparison the designer
 // oracle performs on every question.
 func BenchmarkIsomorphism(b *testing.B) {

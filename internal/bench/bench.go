@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"muse/internal/core"
+	"muse/internal/deps"
 	"muse/internal/designer"
 	"muse/internal/instance"
 	"muse/internal/mapping"
@@ -67,6 +68,11 @@ type MuseGRow struct {
 	// AvgExampleTime is the mean time to construct/retrieve one
 	// example.
 	AvgExampleTime time.Duration
+	// IndexesBuilt counts the distinct hash indexes the session's
+	// shared store materialized (each is built at most once per run).
+	IndexesBuilt int
+	// IndexBuildTime is the total wall-clock spent building them.
+	IndexBuildTime time.Duration
 
 	PaperAvgPoss float64
 }
@@ -82,6 +88,9 @@ type MuseGConfig struct {
 	NoKeys bool
 	// NoReal disables real-example retrieval (ablation).
 	NoReal bool
+	// Parallel races that many retrieval partitions per probe query
+	// (0/1 = serial).
+	Parallel int
 }
 
 // DefaultMuseGConfig mirrors the paper's setup.
@@ -100,12 +109,13 @@ func RunMuseG(s *scenarios.Scenario, strat designer.Strategy, cfg MuseGConfig) (
 	}
 	src := s.Src
 	if cfg.NoKeys {
-		noKeys := *s.Src
-		noKeys.Keys = nil
-		src = &noKeys
+		// Fresh literal rather than a value copy: deps.Set carries a
+		// lock guarding its memos.
+		src = &deps.Set{Schema: s.Src.Schema, Cat: s.Src.Cat, FDs: s.Src.FDs, Refs: s.Src.Refs}
 	}
 	gw := core.NewGroupingWizard(src, in)
 	gw.Timeout = cfg.Timeout
+	gw.Parallel = cfg.Parallel
 	if cfg.NoReal {
 		gw.Real = nil
 	}
@@ -121,7 +131,7 @@ func RunMuseG(s *scenarios.Scenario, strat designer.Strategy, cfg MuseGConfig) (
 			return MuseGRow{}, fmt.Errorf("bench: %s/%s on %s: %v", s.Name, strat, m.Name, err)
 		}
 	}
-	return MuseGRow{
+	row := MuseGRow{
 		Scenario:       s.Name,
 		Strategy:       strat,
 		AvgPoss:        gw.Stats.AvgPoss(),
@@ -129,7 +139,13 @@ func RunMuseG(s *scenarios.Scenario, strat designer.Strategy, cfg MuseGConfig) (
 		RealFraction:   gw.Stats.RealFraction(),
 		AvgExampleTime: gw.Stats.AvgExampleTime(),
 		PaperAvgPoss:   s.PaperAvgPoss,
-	}, nil
+	}
+	if gw.Store != nil {
+		m := gw.Store.Metrics()
+		row.IndexesBuilt = m.IndexesBuilt
+		row.IndexBuildTime = m.BuildTime
+	}
+	return row, nil
 }
 
 // disambiguatedMappings resolves every ambiguous mapping with a

@@ -237,7 +237,7 @@ func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
 			} else {
 				// One null per equality class per assignment: name the
 				// symbol after the class representative.
-				p.atomNull[v][a] = fmt.Sprintf("N_%s_%s.%s", m.Name, root.Var, root.Attr)
+				p.atomNull[v][a] = "N_" + m.Name + "_" + root.Var + "." + root.Attr
 			}
 		}
 		for _, f := range st.SetFields {
@@ -246,7 +246,7 @@ func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
 				return nil, fmt.Errorf("chase: mapping %s has no grouping function for %s.%s (call AddDefaultSKs)", m.Name, v, f)
 			}
 			p.setTerm[v][f] = sk.SK
-			child := m.Tgt.ByPath(append(st.Path.Clone(), nr.ParsePath(f)...))
+			child := st.Child(f)
 			if child == nil {
 				return nil, fmt.Errorf("chase: mapping %s: cannot resolve target set %s.%s", m.Name, st.Path, f)
 			}

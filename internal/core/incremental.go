@@ -32,7 +32,7 @@ func (w *GroupingWizard) refineSK(m *mapping.Mapping, fn string, confirmed []map
 	for _, e := range confirmed {
 		inConfirmed[e.String()] = true
 	}
-	decidedOut := make(map[string]bool)
+	decidedOut := make(map[mapping.Expr]bool)
 	for _, probe := range poss {
 		if inConfirmed[probe.String()] {
 			continue
@@ -44,7 +44,7 @@ func (w *GroupingWizard) refineSK(m *mapping.Mapping, fn string, confirmed []map
 			continue
 		}
 		if eqClass.anyDecided(probe, decidedOut) {
-			decidedOut[probe.String()] = true
+			decidedOut[probe] = true
 			continue
 		}
 		ans, skipped, err := w.askProbe(m, fn, poss, confirmed, decidedOut, probe, nil, nil, d, &stats)
@@ -58,7 +58,7 @@ func (w *GroupingWizard) refineSK(m *mapping.Mapping, fn string, confirmed []map
 			confirmed = append(confirmed, probe)
 			inConfirmed[probe.String()] = true
 		} else {
-			decidedOut[probe.String()] = true
+			decidedOut[probe] = true
 		}
 	}
 	stats.Result = confirmed

@@ -308,7 +308,9 @@ func (w *DisambiguationWizard) danglingExample(m *mapping.Mapping, v JoinVariant
 	tb.finalize()
 	if w.Real != nil {
 		q := tb.realQuery(nil)
-		matches, err := q.Eval(w.Real, query.Options{Limit: 64, Timeout: w.Timeout})
+		opt := w.retrieval()
+		opt.Limit = 64
+		matches, err := q.Eval(w.Real, opt)
 		if err == nil {
 			for _, match := range matches {
 				if !w.extends(m, v, match) {
@@ -356,6 +358,6 @@ func (w *DisambiguationWizard) extends(m *mapping.Mapping, v JoinVariant, match 
 		}
 		q.Atoms = append(q.Atoms, atom)
 	}
-	_, ok, _ := q.First(w.Real, w.Timeout)
+	_, ok, _ := q.FirstOpts(w.Real, w.retrieval())
 	return ok
 }

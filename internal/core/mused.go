@@ -8,6 +8,7 @@ import (
 	"muse/internal/deps"
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/query"
 )
 
 // DisambiguationWizard is Muse-D: it resolves the or-predicates of an
@@ -22,8 +23,24 @@ type DisambiguationWizard struct {
 	Real *instance.Instance
 	// Timeout bounds real-example retrieval.
 	Timeout time.Duration
+	// Store caches hash indexes and statistics over Real across the
+	// session (shared with Muse-G when both run in one Session). Left
+	// nil, it is created lazily on the first retrieval.
+	Store *query.IndexStore
+	// Parallel > 1 races that many partitions of each retrieval's
+	// candidate space under the timeout (deterministic results).
+	Parallel int
 	// Stats accumulates per-mapping effort.
 	Stats DStats
+}
+
+// retrieval returns the query options for one real-example retrieval,
+// creating the session's index store on first use.
+func (w *DisambiguationWizard) retrieval() query.Options {
+	if w.Real != nil && (w.Store == nil || w.Store.Instance() != w.Real) {
+		w.Store = query.NewIndexStore(w.Real)
+	}
+	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel}
 }
 
 // DStats records Muse-D effort, feeding the Sec. VI Muse-D table.
@@ -111,7 +128,7 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	real := false
 	var valueOf func(e mapping.Expr) instance.Value
 	if w.Real != nil {
-		if match, ok, _ := q.First(w.Real, w.Timeout); ok {
+		if match, ok, _ := q.FirstOpts(w.Real, w.retrieval()); ok {
 			ie = tb.fromMatch(match, w.Real)
 			real = true
 			valueOf = func(e mapping.Expr) instance.Value {

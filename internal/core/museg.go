@@ -11,6 +11,7 @@ import (
 	"muse/internal/homo"
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/query"
 )
 
 // GroupingWizard is Muse-G: it designs the grouping functions of a
@@ -36,8 +37,27 @@ type GroupingWizard struct {
 	// (the "think time" optimization of Sec. VI).
 	Prefetch bool
 	prefetch *exampleCache
+	// Store caches hash indexes and statistics over Real across the
+	// whole session, shared by every probe query and prefetch worker.
+	// Left nil, it is created lazily on the first retrieval; a Session
+	// shares one store between Muse-G and Muse-D.
+	Store *query.IndexStore
+	// Parallel > 1 races that many partitions of each retrieval's
+	// candidate space under the timeout (deterministic results).
+	Parallel int
 	// Stats accumulates per-grouping-function effort.
 	Stats Stats
+}
+
+// retrieval returns the query options for one real-example retrieval,
+// creating the session's index store on first use. It must be called
+// from the wizard's own goroutine; prefetch workers capture the
+// returned value (the store itself is concurrency-safe).
+func (w *GroupingWizard) retrieval() query.Options {
+	if w.Real != nil && (w.Store == nil || w.Store.Instance() != w.Real) {
+		w.Store = query.NewIndexStore(w.Real)
+	}
+	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel}
 }
 
 // NewGroupingWizard constructs a wizard with the given constraints and
@@ -128,7 +148,7 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 		w.prefetch = newExampleCache()
 		defer w.prefetch.wait()
 	}
-	decidedOut := make(map[string]bool)
+	decidedOut := make(map[mapping.Expr]bool)
 	for ci, probe := range candidates {
 		if coversPoss(confirmed, poss, imps) {
 			// Thm 3.2 / Cor 3.3: everything left is inconsequential.
@@ -142,7 +162,7 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 		if decided := eqClass.anyDecided(probe, decidedOut); decided {
 			// An equality-correlate was already rejected; grouping by
 			// this attribute would have the identical (rejected) effect.
-			decidedOut[probe.String()] = true
+			decidedOut[probe] = true
 			continue
 		}
 		if w.InstanceOnly && w.Real != nil {
@@ -168,7 +188,7 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 		if ans == 1 {
 			confirmed = append(confirmed, probe)
 		} else {
-			decidedOut[probe.String()] = true
+			decidedOut[probe] = true
 		}
 	}
 
@@ -181,7 +201,7 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 // or synthetic instance, chases the two scenarios, and asks the
 // designer. skipped is true when the probe turned out inconsequential
 // (no question was posed).
-func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr, next *mapping.Expr, d GroupingDesigner, stats *SKStats) (int, bool, error) {
+func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed []mapping.Expr, decidedOut map[mapping.Expr]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr, next *mapping.Expr, d GroupingDesigner, stats *SKStats) (int, bool, error) {
 	tb, ok := w.probeSetup(m, poss, confirmed, decidedOut, probe, alwaysDiffer)
 	if !ok {
 		// The constraints force the probed attribute to agree whenever
@@ -235,7 +255,7 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 	// example speculatively, for both possible answers (Sec. VI).
 	if w.prefetch != nil && w.Real != nil && next != nil {
 		outPlus := copyDecided(decidedOut)
-		outPlus[probe.String()] = true
+		outPlus[probe] = true
 		w.spawnPrefetch(m, fn, poss, with, decidedOut, *next, alwaysDiffer)
 		w.spawnPrefetch(m, fn, poss, confirmed, outPlus, *next, alwaysDiffer)
 	}
@@ -297,10 +317,10 @@ func (w *GroupingWizard) askKeyGrouping(m *mapping.Mapping, fn string, keyAttrs,
 // decided-out attributes are unconstrained — and builds the two-copy
 // tableau. ok is false when the probe is unconstructible
 // (inconsequential).
-func (w *GroupingWizard) probeSetup(m *mapping.Mapping, poss, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) (*tableau, bool) {
+func (w *GroupingWizard) probeSetup(m *mapping.Mapping, poss, confirmed []mapping.Expr, decidedOut map[mapping.Expr]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) (*tableau, bool) {
 	excluded := make(map[string]bool, len(decidedOut)+1+len(alwaysDiffer)+len(confirmed))
 	for k := range decidedOut {
-		excluded[k] = true
+		excluded[k.String()] = true
 	}
 	excluded[probe.String()] = true
 	for _, e := range confirmed {
@@ -325,18 +345,18 @@ func (w *GroupingWizard) probeSetup(m *mapping.Mapping, poss, confirmed []mappin
 }
 
 // patternKey identifies a probe pattern for the prefetch cache.
-func patternKey(fn string, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) string {
+func patternKey(fn string, confirmed []mapping.Expr, decidedOut map[mapping.Expr]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) string {
 	outs := make([]string, 0, len(decidedOut))
 	for k := range decidedOut {
-		outs = append(outs, k)
+		outs = append(outs, k.String())
 	}
 	sort.Strings(outs)
 	return fn + "\x01" + sortedExprs(confirmed) + "\x01" + strings.Join(outs, ",") +
 		"\x01" + probe.String() + "\x01" + sortedExprs(alwaysDiffer)
 }
 
-func copyDecided(m map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(m)+1)
+func copyDecided(m map[mapping.Expr]bool) map[mapping.Expr]bool {
+	out := make(map[mapping.Expr]bool, len(m)+1)
 	for k, v := range m {
 		out[k] = v
 	}
@@ -345,17 +365,20 @@ func copyDecided(m map[string]bool) map[string]bool {
 
 // spawnPrefetch starts a background retrieval of the example for a
 // future probe pattern.
-func (w *GroupingWizard) spawnPrefetch(m *mapping.Mapping, fn string, poss, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) {
+func (w *GroupingWizard) spawnPrefetch(m *mapping.Mapping, fn string, poss, confirmed []mapping.Expr, decidedOut map[mapping.Expr]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr) {
 	key := patternKey(fn, confirmed, decidedOut, probe, alwaysDiffer)
 	confirmed = append([]mapping.Expr{}, confirmed...)
 	decidedOut = copyDecided(decidedOut)
+	// Resolve the retrieval options (and thus the shared store) on the
+	// wizard goroutine; the worker only reads the copied value.
+	opt := w.retrieval()
 	w.prefetch.spawn(key, func() (*instance.Instance, bool) {
 		tb, ok := w.probeSetup(m, poss, confirmed, decidedOut, probe, alwaysDiffer)
 		if !ok {
 			return nil, false
 		}
 		q := tb.realQuery([]mapping.Expr{probe})
-		match, found, _ := q.First(w.Real, w.Timeout)
+		match, found, _ := q.FirstOpts(w.Real, opt)
 		if !found {
 			return nil, false
 		}
@@ -365,7 +388,7 @@ func (w *GroupingWizard) spawnPrefetch(m *mapping.Mapping, fn string, poss, conf
 
 // obtainExampleCached consults the prefetch cache before falling back
 // to a synchronous retrieval.
-func (w *GroupingWizard) obtainExampleCached(tb *tableau, fn string, confirmed []mapping.Expr, decidedOut map[string]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr, stats *SKStats) (*instance.Instance, bool, error) {
+func (w *GroupingWizard) obtainExampleCached(tb *tableau, fn string, confirmed []mapping.Expr, decidedOut map[mapping.Expr]bool, probe mapping.Expr, alwaysDiffer []mapping.Expr, stats *SKStats) (*instance.Instance, bool, error) {
 	if w.prefetch != nil {
 		key := patternKey(fn, confirmed, decidedOut, probe, alwaysDiffer)
 		if entry := w.prefetch.lookup(key); entry != nil {
@@ -390,7 +413,7 @@ func (w *GroupingWizard) obtainExample(tb *tableau, differ []mapping.Expr, stats
 	defer func() { stats.ExampleTime += time.Since(start) }()
 	if w.Real != nil {
 		q := tb.realQuery(differ)
-		match, ok, _ := q.First(w.Real, w.Timeout)
+		match, ok, _ := q.FirstOpts(w.Real, w.retrieval())
 		if ok {
 			stats.RealExamples++
 			return tb.fromMatch(match, w.Real), true, nil
@@ -403,23 +426,32 @@ func (w *GroupingWizard) obtainExample(tb *tableau, differ []mapping.Expr, stats
 // dataImplied reports whether, on the real instance, the probed
 // attribute is constant within every group of assignments that agree
 // on the confirmed attributes — in which case including it cannot
-// change the grouping of any tuple of this instance.
+// change the grouping of any tuple of this instance. The assignments
+// are enumerated through the shared index store (the mapping's
+// canonical tableau as a query); a retrieval that times out before
+// enumerating every assignment conservatively keeps the question.
 func (w *GroupingWizard) dataImplied(m *mapping.Mapping, confirmed []mapping.Expr, probe mapping.Expr) (bool, error) {
-	asgs, err := chase.Assignments(w.Real, m)
+	tb := newTableau(m, 1)
+	tb.finalize()
+	q := tb.realQuery(nil)
+	matches, err := q.Eval(w.Real, w.retrieval())
 	if err != nil {
+		if err == query.ErrTimeout {
+			return false, nil
+		}
 		return false, err
 	}
 	groups := make(map[string]string)
-	for _, asg := range asgs {
+	for _, match := range matches {
 		gkey := ""
 		for _, e := range confirmed {
-			if v := asg[e.Var].Get(e.Attr); v != nil {
+			if v := match.Tuples[tb.atomIndex(1, e.Var)].Get(e.Attr); v != nil {
 				gkey += v.Key()
 			}
 			gkey += "\x06"
 		}
 		pv := ""
-		if v := asg[probe.Var].Get(probe.Attr); v != nil {
+		if v := match.Tuples[tb.atomIndex(1, probe.Var)].Get(probe.Attr); v != nil {
 			pv = v.Key()
 		}
 		if prev, ok := groups[gkey]; ok && prev != pv {
@@ -491,13 +523,13 @@ func (c *exprClasses) find(x mapping.Expr) mapping.Expr {
 }
 
 // anyDecided reports whether some expression in probe's equality class
-// was already decided out.
-func (c *exprClasses) anyDecided(probe mapping.Expr, decidedOut map[string]bool) bool {
+// was already decided out. decidedOut is keyed by the Expr itself, so
+// attribute paths containing dots need no (mis)parsing of rendered
+// strings.
+func (c *exprClasses) anyDecided(probe mapping.Expr, decidedOut map[mapping.Expr]bool) bool {
 	root := c.find(probe)
 	for k := range decidedOut {
-		// decidedOut keys are Expr.String() renderings "v.attr".
-		parts := strings.SplitN(k, ".", 2)
-		if len(parts) == 2 && c.find(mapping.E(parts[0], parts[1])) == root {
+		if c.find(k) == root {
 			return true
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"muse/internal/deps"
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/query"
 )
 
 // Session is the complete Muse design pipeline of Sec. V: starting
@@ -16,12 +17,20 @@ type Session struct {
 }
 
 // NewSession builds a session over the source constraints and real
-// instance (both optional).
+// instance (both optional). Both wizards share one index store over
+// the instance, so indexes built while disambiguating are reused by
+// every grouping probe.
 func NewSession(srcDeps *deps.Set, real *instance.Instance) *Session {
-	return &Session{
+	s := &Session{
 		Grouping:       NewGroupingWizard(srcDeps, real),
 		Disambiguation: NewDisambiguationWizard(srcDeps, real),
 	}
+	if real != nil {
+		store := query.NewIndexStore(real)
+		s.Grouping.Store = store
+		s.Disambiguation.Store = store
+	}
+	return s
 }
 
 // Run drives the full pipeline on a schema mapping and returns the

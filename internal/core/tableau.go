@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"muse/internal/deps"
@@ -117,17 +118,16 @@ func (tb *tableau) chaseFDs(src *deps.Set) {
 		copy int
 		v    string
 	}
-	bySet := make(map[string][]row)
+	bySet := make(map[*nr.SetType][]row)
 	for c := 1; c <= tb.copies; c++ {
 		for _, v := range tb.info.SrcOrder {
-			key := tb.info.SrcVars[v].Path.String()
-			bySet[key] = append(bySet[key], row{c, v})
+			st := tb.info.SrcVars[v]
+			bySet[st] = append(bySet[st], row{c, v})
 		}
 	}
 	for changed := true; changed; {
 		changed = false
-		for setPath, rows := range bySet {
-			st := tb.m.Src.ByPath(nr.ParsePath(setPath))
+		for st, rows := range bySet {
 			fds := src.FDsOf(st)
 			if len(fds) == 0 {
 				continue
@@ -174,8 +174,8 @@ func (tb *tableau) finalize() {
 		if _, ok := reps[root]; !ok {
 			short := shortAttr(root.attr)
 			counter[short]++
-			reps[root] = instance.C(fmt.Sprintf("%s%d", short, counter[short]))
-			ids[root] = fmt.Sprintf("x_%s_%s_%d", root.v, strings.ReplaceAll(root.attr, ".", "_"), root.copy)
+			reps[root] = instance.C(short + strconv.Itoa(counter[short]))
+			ids[root] = "x_" + root.v + "_" + strings.ReplaceAll(root.attr, ".", "_") + "_" + strconv.Itoa(root.copy)
 		}
 		tb.classValue[t] = reps[root]
 		tb.classID[t] = ids[root]
@@ -213,7 +213,7 @@ func (tb *tableau) synthetic() *instance.Instance {
 				for _, a := range st.Atoms {
 					args = append(args, tb.classValue[term{c, g.Var, a}])
 				}
-				child := tb.m.Src.ByPath(append(st.Path.Clone(), nr.ParsePath(f)...))
+				child := st.Child(f)
 				ref := instance.NewSetRef("Ie_"+child.SKName(), args...)
 				t.Put(f, ref)
 				in.EnsureSet(child, ref)
@@ -297,11 +297,10 @@ func (tb *tableau) fromMatch(m query.Match, realSrc *instance.Instance) *instanc
 	// Carry over the (possibly empty) nested sets referenced by copied
 	// tuples so the example is self-contained.
 	for _, s := range in.AllSets() {
-		for _, t := range s.Tuples() {
+		for _, t := range s.View() {
 			for _, f := range s.Type.SetFields {
 				if ref, ok := t.Get(f).(*instance.SetRef); ok {
-					child := tb.m.Src.ByPath(append(s.Type.Path.Clone(), nr.ParsePath(f)...))
-					if child != nil {
+					if child := s.Type.Child(f); child != nil {
 						in.EnsureSet(child, ref)
 					}
 				}

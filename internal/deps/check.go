@@ -17,7 +17,10 @@ func (v Violation) String() string { return v.Constraint + ": " + v.Detail }
 // Check validates the instance against every declared constraint and
 // returns all violations found (empty means valid). Muse uses this to
 // guarantee that the examples it shows a designer are valid instances
-// (Sec. III-B: "a valid instance for F is always constructed").
+// (Sec. III-B: "a valid instance for F is always constructed"). The
+// wizards run it on every constructed example, so the per-tuple work
+// composes projection keys in a reused buffer instead of building
+// intermediate strings.
 func (s *Set) Check(in *instance.Instance) []Violation {
 	var out []Violation
 	out = append(out, s.checkKeys(in)...)
@@ -31,79 +34,89 @@ func (s *Set) Valid(in *instance.Instance) bool { return len(s.Check(in)) == 0 }
 
 func (s *Set) checkKeys(in *instance.Instance) []Violation {
 	var out []Violation
+	var buf []byte
 	for _, k := range s.Keys {
 		st := s.Cat.ByPath(k.Set)
 		// Keys apply within each occurrence of the set (and for
 		// relational top-level sets there is exactly one occurrence).
-		for _, occ := range in.Occurrences(st) {
-			seen := make(map[string]*instance.Tuple)
-			for _, t := range occ.Tuples() {
-				kk := projKey(t, k.Attrs)
-				if prev, ok := seen[kk]; ok && !sameProjection(prev, t, st.Atoms) {
+		in.EachOccurrence(st, func(occ *instance.SetVal) {
+			seen := make(map[string]*instance.Tuple, occ.Len())
+			for _, t := range occ.View() {
+				buf = appendProj(buf[:0], t, k.Attrs)
+				if prev, ok := seen[string(buf)]; ok && !sameProjection(prev, t, st.Atoms) {
 					out = append(out, Violation{
 						Constraint: k.String(),
 						Detail:     fmt.Sprintf("tuples %s and %s agree on the key but differ elsewhere", prev, t),
 					})
 				}
-				seen[kk] = t
+				seen[string(buf)] = t
 			}
-		}
+		})
 	}
 	return out
 }
 
 func (s *Set) checkFDs(in *instance.Instance) []Violation {
 	var out []Violation
+	var buf []byte
 	for _, f := range s.FDs {
 		st := s.Cat.ByPath(f.Set)
-		for _, occ := range in.Occurrences(st) {
-			seen := make(map[string]*instance.Tuple)
-			for _, t := range occ.Tuples() {
-				kk := projKey(t, f.From)
-				if prev, ok := seen[kk]; ok && !sameProjection(prev, t, f.To) {
+		in.EachOccurrence(st, func(occ *instance.SetVal) {
+			seen := make(map[string]*instance.Tuple, occ.Len())
+			for _, t := range occ.View() {
+				buf = appendProj(buf[:0], t, f.From)
+				if prev, ok := seen[string(buf)]; ok && !sameProjection(prev, t, f.To) {
 					out = append(out, Violation{
 						Constraint: f.String(),
 						Detail:     fmt.Sprintf("tuples %s and %s agree on %v but differ on %v", prev, t, f.From, f.To),
 					})
 				}
-				seen[kk] = t
+				seen[string(buf)] = t
 			}
-		}
+		})
 	}
 	return out
 }
 
 func (s *Set) checkRefs(in *instance.Instance) []Violation {
 	var out []Violation
+	var buf []byte
 	for _, r := range s.Refs {
 		from := s.Cat.ByPath(r.FromSet)
 		to := s.Cat.ByPath(r.ToSet)
 		// Index the target side by the referenced attributes.
 		index := make(map[string]bool)
-		for _, t := range in.AllTuples(to) {
-			index[projKey(t, r.ToAttrs)] = true
-		}
-		for _, t := range in.AllTuples(from) {
-			if !index[projKey(t, r.FromAttrs)] {
-				out = append(out, Violation{
-					Constraint: r.String(),
-					Detail:     fmt.Sprintf("tuple %s has no match in %s", t, r.ToSet),
-				})
+		in.EachOccurrence(to, func(occ *instance.SetVal) {
+			for _, t := range occ.View() {
+				buf = appendProj(buf[:0], t, r.ToAttrs)
+				index[string(buf)] = true
 			}
-		}
+		})
+		in.EachOccurrence(from, func(occ *instance.SetVal) {
+			for _, t := range occ.View() {
+				buf = appendProj(buf[:0], t, r.FromAttrs)
+				if !index[string(buf)] {
+					out = append(out, Violation{
+						Constraint: r.String(),
+						Detail:     fmt.Sprintf("tuple %s has no match in %s", t, r.ToSet),
+					})
+				}
+			}
+		})
 	}
 	return out
 }
 
-func projKey(t *instance.Tuple, attrs []string) string {
-	key := ""
+// appendProj appends the canonical projection key of t on attrs to
+// buf. Callers look maps up with string(buf), which does not allocate.
+func appendProj(buf []byte, t *instance.Tuple, attrs []string) []byte {
 	for _, a := range attrs {
 		if v := t.Get(a); v != nil {
-			key += v.Key()
+			buf = instance.AppendValueKey(buf, v)
 		}
-		key += "\x05"
+		buf = append(buf, '\x05')
 	}
-	return key
+	return buf
 }
 
 func sameProjection(a, b *instance.Tuple, attrs []string) bool {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"muse/internal/nr"
 )
@@ -70,6 +71,15 @@ type Set struct {
 	Keys   []Key
 	FDs    []FD
 	Refs   []Ref
+
+	// mu guards the per-set-type memos below, which cache FDsOf and
+	// CandidateKeys (both are recomputed constantly on the wizards' hot
+	// paths). Adding a key or FD invalidates them. Because of mu, a Set
+	// must not be copied by value; derive variants with a fresh
+	// composite literal instead.
+	mu     sync.Mutex
+	fdMemo map[*nr.SetType][]FD
+	ckMemo map[*nr.SetType][]Key
 }
 
 // NewSet creates an empty constraint set for the schema.
@@ -87,7 +97,14 @@ func (s *Set) AddKey(set string, attrs ...string) error {
 		return fmt.Errorf("deps: empty key on %s", st)
 	}
 	s.Keys = append(s.Keys, Key{Set: st.Path, Attrs: attrs})
+	s.invalidate()
 	return nil
+}
+
+func (s *Set) invalidate() {
+	s.mu.Lock()
+	s.fdMemo, s.ckMemo = nil, nil
+	s.mu.Unlock()
 }
 
 // AddFD declares a functional dependency, validating attributes.
@@ -100,6 +117,7 @@ func (s *Set) AddFD(set string, from, to []string) error {
 		return fmt.Errorf("deps: FD with empty side on %s", st)
 	}
 	s.FDs = append(s.FDs, FD{Set: st.Path, From: from, To: to})
+	s.invalidate()
 	return nil
 }
 
@@ -170,8 +188,15 @@ func (s *Set) KeysOf(st *nr.SetType) []Key {
 }
 
 // FDsOf returns all FDs holding on the set: declared FDs plus one FD
-// per key (key attrs -> all atoms).
+// per key (key attrs -> all atoms). The result is memoized until the
+// next AddKey/AddFD; callers must treat it as read-only.
 func (s *Set) FDsOf(st *nr.SetType) []FD {
+	s.mu.Lock()
+	if out, ok := s.fdMemo[st]; ok {
+		s.mu.Unlock()
+		return out
+	}
+	s.mu.Unlock()
 	var out []FD
 	for _, f := range s.FDs {
 		if f.Set.Equal(st.Path) {
@@ -181,6 +206,12 @@ func (s *Set) FDsOf(st *nr.SetType) []FD {
 	for _, k := range s.KeysOf(st) {
 		out = append(out, FD{Set: st.Path, From: k.Attrs, To: append([]string{}, st.Atoms...)})
 	}
+	s.mu.Lock()
+	if s.fdMemo == nil {
+		s.fdMemo = make(map[*nr.SetType][]FD)
+	}
+	s.fdMemo[st] = out
+	s.mu.Unlock()
 	return out
 }
 
@@ -224,8 +255,27 @@ func (s *Set) Closure(st *nr.SetType, start []string) map[string]bool {
 // this to characterize when an FD set is "single-keyed", which decides
 // whether the single-key probe order or the multi-key protocol
 // applies. Enumeration is exponential in the attribute count and
-// capped; sets wider than the cap fall back to the declared keys.
+// capped; sets wider than the cap fall back to the declared keys. The
+// result is memoized until the next AddKey/AddFD; callers must treat
+// it as read-only.
 func (s *Set) CandidateKeys(st *nr.SetType) []Key {
+	s.mu.Lock()
+	if out, ok := s.ckMemo[st]; ok {
+		s.mu.Unlock()
+		return out
+	}
+	s.mu.Unlock()
+	out := s.candidateKeys(st)
+	s.mu.Lock()
+	if s.ckMemo == nil {
+		s.ckMemo = make(map[*nr.SetType][]Key)
+	}
+	s.ckMemo[st] = out
+	s.mu.Unlock()
+	return out
+}
+
+func (s *Set) candidateKeys(st *nr.SetType) []Key {
 	const maxAttrs = 16
 	atoms := st.Atoms
 	if len(atoms) > maxAttrs {
@@ -235,24 +285,52 @@ func (s *Set) CandidateKeys(st *nr.SetType) []Key {
 	if len(fds) == 0 {
 		return nil
 	}
-	var imps []Implication
-	for _, f := range fds {
-		imps = append(imps, Implication{From: f.From, To: f.To})
+	// The enumeration visits up to 2^maxAttrs subsets, so the closure
+	// runs on bitmasks rather than string maps: attributes (the set's
+	// atoms first, then any extra attributes the FDs mention — chains
+	// may pass through them) get bit positions, and one closure is a
+	// handful of AND/OR fixpoint rounds with zero allocations.
+	idx := make(map[string]int, len(atoms))
+	for i, a := range atoms {
+		idx[a] = i
 	}
+	next := len(atoms)
+	pos := func(a string) int {
+		if i, ok := idx[a]; ok {
+			return i
+		}
+		idx[a] = next
+		next++
+		return next - 1
+	}
+	type maskImp struct{ from, to uint64 }
+	imps := make([]maskImp, 0, len(fds))
+	for _, f := range fds {
+		var im maskImp
+		for _, a := range f.From {
+			im.from |= 1 << pos(a)
+		}
+		for _, a := range f.To {
+			im.to |= 1 << pos(a)
+		}
+		imps = append(imps, im)
+	}
+	if next > 62 {
+		return s.KeysOf(st) // more attributes than bitset bits; rare
+	}
+	atomsMask := uint64(1)<<len(atoms) - 1
 	isKey := func(mask int) bool {
-		var start []string
-		for i, a := range atoms {
-			if mask&(1<<i) != 0 {
-				start = append(start, a)
+		cl := uint64(mask)
+		for changed := true; changed; {
+			changed = false
+			for _, im := range imps {
+				if cl&im.from == im.from && cl|im.to != cl {
+					cl |= im.to
+					changed = true
+				}
 			}
 		}
-		cl := CloseOver(imps, start)
-		for _, a := range atoms {
-			if !cl[a] {
-				return false
-			}
-		}
-		return true
+		return cl&atomsMask == atomsMask
 	}
 	// Enumerate by ascending popcount so supersets of found keys can be
 	// pruned (minimality).

@@ -81,8 +81,8 @@ const searchBudget = 1 << 21
 // It returns ok=false when some source tuple has no shape-compatible
 // destination at all.
 func (s *searcher) newObligation(src, dst *instance.SetVal) (obligation, bool) {
-	tuples := src.Tuples()
-	cands := dst.Tuples()
+	tuples := src.View()
+	cands := dst.View()
 	counts := make(map[*instance.Tuple]int, len(tuples))
 	for _, t := range tuples {
 		n := 0
@@ -191,7 +191,9 @@ func (s *searcher) solve(obs []obligation, oi, ti int) bool {
 		return s.solve(obs, oi+1, 0)
 	}
 	t := tuples[ti]
-	candidates := ob.dst.Tuples()
+	// Read-only view: the reorder below builds a fresh slice, and the
+	// compared instances are not mutated during a search.
+	candidates := ob.dst.View()
 	// Greedy identity bias: when the destination holds a tuple with the
 	// exact same canonical key (the common case when comparing equal or
 	// near-equal chase results), try it first — the search then runs

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"muse/internal/nr"
@@ -140,6 +141,12 @@ func (s *SetVal) Tuples() []*Tuple {
 	return append([]*Tuple(nil), s.list...)
 }
 
+// View returns the set's tuples in insertion order without copying.
+// The slice is shared with the set: callers must not modify it, and it
+// is only valid while the set is not mutated. Scan-heavy read-only
+// paths (the query evaluator) should prefer it over Tuples.
+func (s *SetVal) View() []*Tuple { return s.list }
+
 // Contains reports whether an equal tuple is present.
 func (s *SetVal) Contains(t *Tuple) bool {
 	_, ok := s.tuples[t.Key()]
@@ -169,9 +176,19 @@ func New(cat *nr.Catalog) *Instance {
 	return inst
 }
 
+// topIDs caches the SetID of each top-level set type. A SetRef is
+// immutable, so one shared ref per set type is safe across all
+// instances — and its canonical key is rendered once, not once per
+// instance construction.
+var topIDs sync.Map // *nr.SetType → *SetRef
+
 // TopID returns the SetID of a top-level set type.
 func TopID(st *nr.SetType) *SetRef {
-	return NewSetRef(st.Schema.Name + "." + st.Path.String())
+	if r, ok := topIDs.Load(st); ok {
+		return r.(*SetRef)
+	}
+	r, _ := topIDs.LoadOrStore(st, NewSetRef(st.Schema.Name+"."+st.Path.String()))
+	return r.(*SetRef)
 }
 
 // EnsureSet returns the occurrence with the given SetID, creating an
@@ -212,6 +229,16 @@ func (in *Instance) Occurrences(st *nr.SetType) []*SetVal {
 		}
 	}
 	return out
+}
+
+// EachOccurrence invokes fn for every occurrence of the given set
+// type, in creation order. Unlike Occurrences it allocates nothing.
+func (in *Instance) EachOccurrence(st *nr.SetType, fn func(*SetVal)) {
+	for _, k := range in.order {
+		if s := in.sets[k]; s.Type == st {
+			fn(s)
+		}
+	}
 }
 
 // AllSets returns every occurrence in creation order.

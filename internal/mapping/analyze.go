@@ -171,7 +171,7 @@ func resolveGens(name string, cat *nr.Catalog, gens []Gen, vars map[string]*nr.S
 			if !parent.HasSetField(g.Field) {
 				return fmt.Errorf("mapping %s: generator %s: %s has no set field %q", name, g.Var, parent, g.Field)
 			}
-			st = cat.ByPath(append(parent.Path.Clone(), nr.ParsePath(g.Field)...))
+			st = parent.Child(g.Field)
 			if st == nil {
 				return fmt.Errorf("mapping %s: generator %s: cannot resolve nested set %s.%s", name, g.Var, parent.Path, g.Field)
 			}

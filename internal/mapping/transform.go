@@ -26,14 +26,34 @@ func (m *Mapping) Poss() []Expr {
 // has the given arguments (Sec. III: the mappings d1, d2 used in a
 // probe differ from m exactly this way). It panics if m has no
 // grouping assignment named fn.
+//
+// Grouping arguments do not affect generator resolution, so when m has
+// already been analyzed the copy inherits the resolution (with the new
+// arguments validated against it directly) instead of re-resolving —
+// the wizards derive hundreds of WithSK variants per design session.
 func (m *Mapping) WithSK(fn string, args []Expr) *Mapping {
 	c := m.Clone()
 	for i := range c.SKs {
-		if c.SKs[i].SK.Fn == fn {
-			c.SKs[i].SK.Args = append([]Expr{}, args...)
-			c.invalidate()
-			return c
+		if c.SKs[i].SK.Fn != fn {
+			continue
 		}
+		c.SKs[i].SK.Args = append([]Expr{}, args...)
+		c.invalidate()
+		if info := m.info.Load(); info != nil {
+			ok := true
+			for _, arg := range args {
+				if checkAtom(c.Name, info.SrcVars, arg, "grouping argument") != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c.info.Store(&Info{M: c,
+					SrcVars: info.SrcVars, TgtVars: info.TgtVars,
+					SrcOrder: info.SrcOrder, TgtOrder: info.TgtOrder})
+			}
+		}
+		return c
 	}
 	panic(fmt.Sprintf("mapping %s: no grouping function %s", m.Name, fn))
 }

@@ -36,7 +36,16 @@ type SetType struct {
 	// skName is the unique SetID (Skolem function) name, assigned by
 	// the catalog.
 	skName string
+	// children maps set-field labels to the child set types, assigned
+	// by the catalog.
+	children map[string]*SetType
 }
+
+// Child returns the child set type reached through the given set-field
+// label (possibly dotted, matching SetFields), or nil. It is the
+// allocation-free equivalent of resolving Path + label through the
+// catalog.
+func (st *SetType) Child(field string) *SetType { return st.children[field] }
 
 // SKName returns the SetID / Skolem function name of the set, e.g.
 // "SKProjects". Names are unique within a schema: when two sets share
@@ -106,6 +115,15 @@ func NewCatalog(s *Schema) (*Catalog, error) {
 		}
 	}
 	c.assignSKNames()
+	for _, st := range c.Sets {
+		if st.Parent == nil {
+			continue
+		}
+		if st.Parent.children == nil {
+			st.Parent.children = make(map[string]*SetType)
+		}
+		st.Parent.children[strings.Join(st.Path[len(st.Parent.Path):], ".")] = st
+	}
 	return c, nil
 }
 

@@ -4,10 +4,19 @@
 // instance that realize a constructed example's agree/disagree
 // pattern; when no real match exists (or a deadline passes), the
 // wizards fall back to synthetic examples.
+//
+// Evaluation is index-driven: hash indexes over top-level sets come
+// from an IndexStore, shared across a whole design session when the
+// caller passes one (Options.Store), and a cost-based planner orders
+// the atoms by estimated candidate-set size using the store's
+// cardinality and distinct-value statistics.
 package query
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"muse/internal/instance"
@@ -52,6 +61,20 @@ type Options struct {
 	// aborted evaluation returns the matches found so far and
 	// ErrTimeout.
 	Timeout time.Duration
+	// Store is a session-shared index store over the instance. When it
+	// is nil (or indexes a different instance) an ephemeral store is
+	// built for this evaluation, restoring the old per-Eval behavior.
+	Store *IndexStore
+	// Parallel > 1 races that many contiguous partitions of the first
+	// atom's candidate set concurrently under the same deadline. The
+	// merged results are deterministic — partitions are concatenated in
+	// candidate order, so (absent a timeout) the output is identical to
+	// the serial evaluation.
+	Parallel int
+	// Naive disables planning and indexing: atoms are evaluated in the
+	// given order by scanning. It is the reference semantics the
+	// planned evaluator is tested against.
+	Naive bool
 }
 
 // ErrTimeout is returned when evaluation exceeds Options.Timeout.
@@ -85,7 +108,7 @@ func (q *Query) Validate() error {
 			if !parent.HasSetField(a.Field) {
 				return fmt.Errorf("query: atom %q: %s has no set field %q", a.Var, parent, a.Field)
 			}
-			st = q.Src.ByPath(append(parent.Path.Clone(), nr.ParsePath(a.Field)...))
+			st = parent.Child(a.Field)
 		}
 		for attr := range a.Bind {
 			if !st.HasAtom(attr) {
@@ -103,127 +126,324 @@ func (q *Query) Validate() error {
 }
 
 // Eval evaluates the query over the instance. Atoms are internally
-// reordered greedily — pinned or already-connected atoms first — which
-// keeps the backtracking join index-driven; results report tuples in
-// the original atom order.
+// reordered by the cost-based planner (estimated candidate-set size
+// from the index store's statistics), which keeps the backtracking
+// join index-driven; results report tuples in the original atom order.
 func (q *Query) Eval(in *instance.Instance, opt Options) ([]Match, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	ordered, back := q.planOrder()
+	store := opt.Store
+	if store == nil || store.Instance() != in {
+		store = NewIndexStore(in)
+	}
+	p := q.plan(store, opt.Naive)
+	// Resolve each position's index once per evaluation: candidates()
+	// then probes a plain map, paying no per-probe key rendering or
+	// store lock.
+	for i := range p.plans {
+		if len(p.plans[i].idxAttrs) > 0 {
+			p.plans[i].idx = store.Index(p.plans[i].st, p.plans[i].idxAttrs)
+		}
+	}
 	e := &evalState{
-		q: ordered, in: in,
-		values:  make(map[string]instance.Value),
-		tuples:  make([]*instance.Tuple, len(q.Atoms)),
-		indexes: make(map[string]map[string][]*instance.Tuple),
-		opt:     opt,
+		q: p.q, plan: p, in: in, store: store,
+		values: make(map[string]instance.Value),
+		tuples: make([]*instance.Tuple, len(q.Atoms)),
+		opt:    opt,
 	}
 	if opt.Timeout > 0 {
 		e.deadline = time.Now().Add(opt.Timeout)
 	}
-	err := e.search(0)
+	var err error
+	if opt.Parallel > 1 && len(q.Atoms) > 0 && !opt.Naive {
+		err = e.searchParallel(opt.Parallel)
+	} else {
+		err = e.search(0)
+	}
 	// Restore the caller's atom order in the reported matches.
 	for mi := range e.out {
 		orig := make([]*instance.Tuple, len(e.out[mi].Tuples))
 		for pos, t := range e.out[mi].Tuples {
-			orig[back[pos]] = t
+			orig[p.back[pos]] = t
 		}
 		e.out[mi].Tuples = orig
 	}
 	return e.out, err
 }
 
-// planOrder reorders the atoms for evaluation: an atom is ready once
-// its parent (if any) is placed; among ready atoms, prefer one with a
-// pinned attribute, then one sharing a value variable with a placed
-// atom (so the hash index applies), then any. back[pos] gives the
-// original index of the atom evaluated at position pos.
-func (q *Query) planOrder() (*Query, []int) {
-	n := len(q.Atoms)
-	placed := make([]bool, n)
-	boundVars := make(map[string]bool)
-	placedAtoms := make(map[string]bool)
-	var order []int
-	ready := func(i int) bool {
-		a := q.Atoms[i]
-		return a.Parent == "" || placedAtoms[a.Parent]
-	}
-	score := func(i int) int {
-		a := q.Atoms[i]
-		if len(a.Pin) > 0 {
-			return 2
-		}
-		for _, vvar := range a.Bind {
-			if boundVars[vvar] {
-				return 1
-			}
-		}
-		return 0
-	}
-	for len(order) < n {
-		best, bestScore := -1, -1
-		for i := 0; i < n; i++ {
-			if placed[i] || !ready(i) {
-				continue
-			}
-			if s := score(i); s > bestScore {
-				best, bestScore = i, s
-			}
-		}
-		if best < 0 {
-			// Unreachable for validated queries (parents precede
-			// children), but guard against cycles.
-			for i := 0; i < n; i++ {
-				if !placed[i] {
-					best = i
-					break
-				}
-			}
-		}
-		placed[best] = true
-		placedAtoms[q.Atoms[best].Var] = true
-		for _, vvar := range q.Atoms[best].Bind {
-			boundVars[vvar] = true
-		}
-		order = append(order, best)
-	}
-	atoms := make([]Atom, n)
-	back := make([]int, n)
-	for pos, idx := range order {
-		atoms[pos] = q.Atoms[idx]
-		back[pos] = idx
-	}
-	return &Query{Src: q.Src, Atoms: atoms, Neq: q.Neq}, back
-}
-
 // First returns one match, or ok=false when the query is empty on the
 // instance (a timeout also reports not-found, with the error).
 func (q *Query) First(in *instance.Instance, timeout time.Duration) (Match, bool, error) {
-	ms, err := q.Eval(in, Options{Limit: 1, Timeout: timeout})
+	return q.FirstOpts(in, Options{Timeout: timeout})
+}
+
+// FirstOpts is First with the full option set (shared store, parallel
+// retrieval); opt.Limit is forced to 1.
+func (q *Query) FirstOpts(in *instance.Instance, opt Options) (Match, bool, error) {
+	opt.Limit = 1
+	ms, err := q.Eval(in, opt)
 	if len(ms) > 0 {
 		return ms[0], true, nil
 	}
 	return Match{}, false, err
 }
 
+// maxIndexAttrs caps composite-index width: beyond a few attributes
+// the extra selectivity is marginal and every distinct attribute set
+// costs one index build.
+const maxIndexAttrs = 4
+
+// atomPlan is the per-position access plan the planner attaches to an
+// ordered atom.
+type atomPlan struct {
+	// st is the atom's set type.
+	st *nr.SetType
+	// parentPos is the position of the parent atom (-1 for root atoms).
+	parentPos int
+	// idxAttrs is the canonically-ordered attribute list of the index
+	// to probe; empty means scan.
+	idxAttrs []string
+	// idx is the resolved index for idxAttrs, fetched from the store
+	// once per evaluation.
+	idx map[string][]*instance.Tuple
+	// neq lists the inequality pairs that become fully bound at this
+	// position (pushed down to the earliest such atom).
+	neq [][2]string
+	// checkAllNeq re-checks every bound pair on every bind (naive
+	// reference mode).
+	checkAllNeq bool
+}
+
+// planned is the output of the planner: the reordered query, the
+// original-position map, and the per-position access plans.
+type planned struct {
+	q     *Query
+	back  []int
+	plans []atomPlan
+}
+
+// resolveTypes maps each atom (in original order) to its set type.
+// Validate has succeeded, so parents precede children.
+func (q *Query) resolveTypes() []*nr.SetType {
+	byVar := make(map[string]*nr.SetType, len(q.Atoms))
+	types := make([]*nr.SetType, len(q.Atoms))
+	for i, a := range q.Atoms {
+		var st *nr.SetType
+		if a.Parent == "" {
+			st = q.Src.ByPath(a.Set)
+		} else {
+			st = byVar[a.Parent].Child(a.Field)
+		}
+		byVar[a.Var] = st
+		types[i] = st
+	}
+	return types
+}
+
+// plan orders the atoms by estimated candidate-set size and attaches
+// per-position access plans. An atom is ready once its parent (if any)
+// is placed; among ready atoms the cheapest is placed next, costed as:
+//
+//   - nested atom: the average occurrence size of its set type (the
+//     parent's SetRef pins the occurrence);
+//   - indexed atom: cardinality scaled by the selectivity (1/distinct)
+//     of every pinned or already-bound attribute, probed through a
+//     composite index when ≥2 attributes are usable;
+//   - otherwise: a full scan at the set's cardinality.
+//
+// Cost ties break by access tier (pinned composite < bound composite <
+// bound single < scan) and then by original atom position, so the plan
+// is fully deterministic — no map-iteration order is consulted.
+func (q *Query) plan(store *IndexStore, naive bool) planned {
+	n := len(q.Atoms)
+	types := q.resolveTypes()
+	if naive {
+		p := planned{q: q, back: make([]int, n), plans: make([]atomPlan, n)}
+		pos := make(map[string]int, n)
+		for i := range q.Atoms {
+			p.back[i] = i
+			pos[q.Atoms[i].Var] = i
+			pp := -1
+			if q.Atoms[i].Parent != "" {
+				pp = pos[q.Atoms[i].Parent]
+			}
+			p.plans[i] = atomPlan{st: types[i], parentPos: pp, checkAllNeq: true}
+		}
+		return p
+	}
+
+	placed := make([]bool, n)
+	boundVars := make(map[string]bool)
+	placedPos := make(map[string]int)
+	order := make([]int, 0, n)
+	plans := make([]atomPlan, 0, n)
+	for len(order) < n {
+		best, bestTier := -1, 0
+		var bestCost float64
+		var bestAttrs []string
+		for i := 0; i < n; i++ {
+			a := q.Atoms[i]
+			if placed[i] || (a.Parent != "" && !has(placedPos, a.Parent)) {
+				continue
+			}
+			cost, tier, attrs := atomCost(a, types[i], boundVars, store)
+			if best < 0 || cost < bestCost || (cost == bestCost && tier < bestTier) {
+				best, bestCost, bestTier, bestAttrs = i, cost, tier, attrs
+			}
+		}
+		a := q.Atoms[best]
+		placed[best] = true
+		pos := len(order)
+		placedPos[a.Var] = pos
+		for _, attr := range types[best].Atoms {
+			if vvar, ok := a.Bind[attr]; ok {
+				boundVars[vvar] = true
+			}
+		}
+		pp := -1
+		if a.Parent != "" {
+			pp = placedPos[a.Parent]
+		}
+		plans = append(plans, atomPlan{st: types[best], parentPos: pp, idxAttrs: bestAttrs})
+		order = append(order, best)
+	}
+
+	atoms := make([]Atom, n)
+	back := make([]int, n)
+	for pos, idx := range order {
+		atoms[pos] = q.Atoms[idx]
+		back[pos] = idx
+	}
+	ordered := &Query{Src: q.Src, Atoms: atoms, Neq: q.Neq}
+	pushDownNeq(ordered, plans)
+	return planned{q: ordered, back: back, plans: plans}
+}
+
+func has(m map[string]int, k string) bool { _, ok := m[k]; return ok }
+
+// atomCost estimates the candidate-set size of evaluating atom a next,
+// given the value variables bound so far, and returns the access tier
+// and the (canonically ordered) index attributes to probe.
+func atomCost(a Atom, st *nr.SetType, boundVars map[string]bool, store *IndexStore) (float64, int, []string) {
+	if a.Parent != "" {
+		return store.Stats(st).AvgOccSize(), 1, nil
+	}
+	stats := store.Stats(st)
+	// Usable attributes in schema order (deterministic): pins first
+	// preference is expressed through the tier, not the scan order.
+	type keyed struct {
+		attr     string
+		distinct int
+		pinned   bool
+	}
+	var usable []keyed
+	pins := 0
+	for _, attr := range st.Atoms {
+		if _, ok := a.Pin[attr]; ok {
+			usable = append(usable, keyed{attr, stats.Distinct[attr], true})
+			pins++
+			continue
+		}
+		if vvar, ok := a.Bind[attr]; ok && boundVars[vvar] {
+			usable = append(usable, keyed{attr, stats.Distinct[attr], false})
+		}
+	}
+	if len(usable) == 0 {
+		return float64(stats.Card), 3, nil
+	}
+	// Keep the most selective attributes (highest distinct count),
+	// capped at maxIndexAttrs; ties keep schema order (stable sort).
+	if len(usable) > maxIndexAttrs {
+		for i := 1; i < len(usable); i++ {
+			for j := i; j > 0 && usable[j].distinct > usable[j-1].distinct; j-- {
+				usable[j], usable[j-1] = usable[j-1], usable[j]
+			}
+		}
+		usable = usable[:maxIndexAttrs]
+	}
+	cost := float64(stats.Card)
+	attrs := make([]string, 0, len(usable))
+	for _, u := range usable {
+		attrs = append(attrs, u.attr)
+		if u.distinct > 0 {
+			cost /= float64(u.distinct)
+		} else {
+			cost = 0 // every value of this attr is unset: nothing can match
+		}
+	}
+	tier := 2
+	if len(attrs) >= 2 {
+		if pins > 0 {
+			tier = 0
+		} else {
+			tier = 1
+		}
+	}
+	// attrs is freshly built above; sort it in place into the canonical
+	// index-attribute order.
+	sort.Strings(attrs)
+	return cost, tier, attrs
+}
+
+// pushDownNeq attaches each inequality pair to the earliest position
+// at which both sides are bound; pairs with a side that never binds
+// are dropped (they were never checked before either).
+func pushDownNeq(q *Query, plans []atomPlan) {
+	firstBound := make(map[string]int)
+	for pos, a := range q.Atoms {
+		for _, vvar := range a.Bind {
+			if _, ok := firstBound[vvar]; !ok {
+				firstBound[vvar] = pos
+			}
+		}
+	}
+	for _, ne := range q.Neq {
+		l, lok := firstBound[ne[0]]
+		r, rok := firstBound[ne[1]]
+		if !lok || !rok {
+			continue
+		}
+		pos := l
+		if r > pos {
+			pos = r
+		}
+		plans[pos].neq = append(plans[pos].neq, ne)
+	}
+}
+
 type evalState struct {
 	q        *Query
+	plan     planned
 	in       *instance.Instance
+	store    *IndexStore
 	values   map[string]instance.Value
 	tuples   []*instance.Tuple
 	out      []Match
-	indexes  map[string]map[string][]*instance.Tuple // per-(set, attr) hash indexes
 	opt      Options
 	deadline time.Time
 	steps    int
+	keyBuf   []byte
+	// boundStack records value variables in binding order; unbindTo
+	// truncates it to a mark, so backtracking allocates nothing.
+	boundStack []string
+	// first, when non-nil, overrides the first atom's candidate list
+	// (a contiguous partition in parallel mode).
+	first []*instance.Tuple
+	// raceLost reports that a lower partition already filled the match
+	// quota, so this partition's work is moot (parallel mode only).
+	raceLost func() bool
 }
 
 func (e *evalState) timedOut() bool {
 	e.steps++
-	if e.deadline.IsZero() || e.steps%256 != 0 {
+	if e.steps%256 != 0 {
 		return false
 	}
-	return time.Now().After(e.deadline)
+	if e.raceLost != nil && e.raceLost() {
+		return true
+	}
+	return !e.deadline.IsZero() && time.Now().After(e.deadline)
 }
 
 func (e *evalState) search(i int) error {
@@ -240,36 +460,104 @@ func (e *evalState) search(i int) error {
 		return nil
 	}
 	a := e.q.Atoms[i]
-	for _, t := range e.candidates(i, a) {
-		bound, ok := e.bindTuple(a, t)
-		if ok {
+	for _, t := range e.candidates(i) {
+		mark := len(e.boundStack)
+		if e.bindTuple(i, a, t) {
 			e.tuples[i] = t
 			if err := e.search(i + 1); err != nil {
-				e.unbind(bound)
+				e.unbindTo(mark)
 				return err
 			}
 			if e.opt.Limit > 0 && len(e.out) >= e.opt.Limit {
-				e.unbind(bound)
+				e.unbindTo(mark)
 				return nil
 			}
 			e.tuples[i] = nil
 		}
-		e.unbind(bound)
+		e.unbindTo(mark)
 	}
 	return nil
 }
 
-// candidates narrows the tuple pool for atom i using a hash index on
-// the first already-bound value variable, when the atom draws from a
-// top-level set.
-func (e *evalState) candidates(i int, a Atom) []*instance.Tuple {
-	if a.Parent != "" {
-		var parent *instance.Tuple
-		for j := range e.q.Atoms[:i] {
-			if e.q.Atoms[j].Var == a.Parent {
-				parent = e.tuples[j]
-			}
+// searchParallel races Parallel contiguous partitions of the first
+// atom's candidate set, each explored by a private evaluation state
+// over the shared (concurrency-safe) index store, under the shared
+// deadline. Partition outputs are concatenated in candidate order, so
+// the merged result is the serial result; a partition whose lower
+// neighbors already filled the limit aborts early.
+func (e *evalState) searchParallel(workers int) error {
+	cands := e.candidates(0)
+	if len(cands) == 0 {
+		return nil
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	outs := make([][]Match, workers)
+	errs := make([]error, workers)
+	// quotaFrom is the lowest partition index that filled the limit on
+	// its own; partitions above it stop early (their matches can never
+	// be merged).
+	quotaFrom := atomic.Int64{}
+	quotaFrom.Store(int64(workers))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(cands)/workers, (w+1)*len(cands)/workers
+		clone := &evalState{
+			q: e.q, plan: e.plan, in: e.in, store: e.store,
+			values:   make(map[string]instance.Value),
+			tuples:   make([]*instance.Tuple, len(e.q.Atoms)),
+			opt:      e.opt,
+			deadline: e.deadline,
+			first:    cands[lo:hi],
 		}
+		w := w
+		clone.raceLost = func() bool { return quotaFrom.Load() < int64(w) }
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[w] = clone.search(0)
+			if e.opt.Limit > 0 && len(clone.out) >= e.opt.Limit {
+				for {
+					cur := quotaFrom.Load()
+					if int64(w) >= cur || quotaFrom.CompareAndSwap(cur, int64(w)) {
+						break
+					}
+				}
+			}
+			outs[w] = clone.out
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		e.out = append(e.out, outs[w]...)
+		if e.opt.Limit > 0 && len(e.out) >= e.opt.Limit {
+			e.out = e.out[:e.opt.Limit]
+			return nil
+		}
+		if errs[w] != nil {
+			// This partition timed out before the quota was met: report
+			// the deterministic prefix found so far, like the serial
+			// evaluator does.
+			return errs[w]
+		}
+	}
+	return nil
+}
+
+// candidates narrows the tuple pool for atom i following its plan:
+// nested atoms read the occurrence their parent references, indexed
+// atoms probe the store's (possibly composite) hash index with a key
+// composed in a reused buffer, and the rest scan. The returned slice
+// is shared and read-only.
+func (e *evalState) candidates(i int) []*instance.Tuple {
+	if i == 0 && e.first != nil {
+		return e.first
+	}
+	a := e.q.Atoms[i]
+	p := &e.plan.plans[i]
+	if a.Parent != "" {
+		parent := e.tuples[p.parentPos]
 		if parent == nil {
 			return nil
 		}
@@ -281,77 +569,78 @@ func (e *evalState) candidates(i int, a Atom) []*instance.Tuple {
 		if occ == nil {
 			return nil
 		}
-		return occ.Tuples()
+		return occ.View()
 	}
-	st := e.q.Src.ByPath(a.Set)
-	for attr, v := range a.Pin {
-		return e.index(st, attr)[v.Key()]
+	if len(p.idxAttrs) == 0 {
+		return e.in.Top(p.st).View()
 	}
-	for attr, vvar := range a.Bind {
-		v, ok := e.values[vvar]
+	buf := e.keyBuf[:0]
+	for _, attr := range p.idxAttrs {
+		v, ok := a.Pin[attr]
 		if !ok {
-			continue
+			v = e.values[a.Bind[attr]]
 		}
-		return e.index(st, attr)[v.Key()]
+		buf = instance.AppendValueKey(buf, v)
+		buf = append(buf, '\x05')
 	}
-	return e.in.Top(st).Tuples()
+	e.keyBuf = buf
+	return p.idx[string(buf)]
 }
 
-func (e *evalState) index(st *nr.SetType, attr string) map[string][]*instance.Tuple {
-	key := st.Path.String() + "\x00" + attr
-	if idx, ok := e.indexes[key]; ok {
-		return idx
-	}
-	idx := make(map[string][]*instance.Tuple)
-	for _, t := range e.in.Top(st).Tuples() {
-		if v := t.Get(attr); v != nil {
-			idx[v.Key()] = append(idx[v.Key()], t)
-		}
-	}
-	e.indexes[key] = idx
-	return idx
-}
-
-// bindTuple binds the atom's value variables against tuple t,
-// returning the newly bound variable names for undo, and whether the
-// binding (including inequalities) is consistent.
-func (e *evalState) bindTuple(a Atom, t *instance.Tuple) ([]string, bool) {
+// bindTuple binds the atom's value variables against tuple t, pushing
+// newly bound variable names onto boundStack, and reports whether the
+// binding (including the inequalities pushed down to this position) is
+// consistent. On failure the stack is already unwound to its state at
+// entry; on success the caller unwinds to its own mark when
+// backtracking.
+func (e *evalState) bindTuple(i int, a Atom, t *instance.Tuple) bool {
+	mark := len(e.boundStack)
 	for attr, want := range a.Pin {
 		if !instance.SameValue(t.Get(attr), want) {
-			return nil, false
+			return false
 		}
 	}
-	var bound []string
 	for attr, vvar := range a.Bind {
 		v := t.Get(attr)
 		if v == nil {
-			e.unbind(bound)
-			return nil, false
+			e.unbindTo(mark)
+			return false
 		}
 		if prev, ok := e.values[vvar]; ok {
 			if !instance.SameValue(prev, v) {
-				e.unbind(bound)
-				return nil, false
+				e.unbindTo(mark)
+				return false
 			}
 			continue
 		}
 		e.values[vvar] = v
-		bound = append(bound, vvar)
+		e.boundStack = append(e.boundStack, vvar)
 	}
-	// Check inequalities that are now fully bound.
-	for _, ne := range e.q.Neq {
-		l, lok := e.values[ne[0]]
-		r, rok := e.values[ne[1]]
-		if lok && rok && instance.SameValue(l, r) {
-			e.unbind(bound)
-			return nil, false
+	p := &e.plan.plans[i]
+	if p.checkAllNeq {
+		// Reference mode: check every pair that happens to be bound.
+		for _, ne := range e.q.Neq {
+			l, lok := e.values[ne[0]]
+			r, rok := e.values[ne[1]]
+			if lok && rok && instance.SameValue(l, r) {
+				e.unbindTo(mark)
+				return false
+			}
+		}
+		return true
+	}
+	for _, ne := range p.neq {
+		if instance.SameValue(e.values[ne[0]], e.values[ne[1]]) {
+			e.unbindTo(mark)
+			return false
 		}
 	}
-	return bound, true
+	return true
 }
 
-func (e *evalState) unbind(vars []string) {
-	for _, v := range vars {
-		delete(e.values, v)
+func (e *evalState) unbindTo(mark int) {
+	for i := len(e.boundStack) - 1; i >= mark; i-- {
+		delete(e.values, e.boundStack[i])
 	}
+	e.boundStack = e.boundStack[:mark]
 }

@@ -1,0 +1,244 @@
+package query
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// IndexStore caches hash indexes and statistics over one source
+// instance, so a whole design session (the wizard, its prefetch
+// workers, Muse-D, the join wizard) builds each index at most once
+// instead of once per Eval. It is safe for concurrent use; every index
+// and statistics block is built exactly once (singleflight per key)
+// even when several evaluations race for it.
+//
+// The store assumes the instance is immutable while indexed — the
+// wizards only ever read the real source instance, and DESIGN.md §7
+// records the invariant. Mutating the instance after indexing yields
+// stale candidate sets.
+type IndexStore struct {
+	in *instance.Instance
+
+	mu      sync.Mutex
+	indexes map[*nr.SetType]map[string]*indexEntry
+	stats   map[*nr.SetType]*statsEntry
+	keyBuf  []byte // attr-list key scratch, guarded by mu
+
+	// metrics (atomic: updated from concurrent evaluations)
+	built      atomic.Int64
+	buildNanos atomic.Int64
+	probes     atomic.Int64
+}
+
+// indexEntry is one (set, attribute list) index, built exactly once:
+// the goroutine that registers the entry builds it and closes done;
+// everyone else blocks on done.
+type indexEntry struct {
+	done     chan struct{}
+	idx      map[string][]*instance.Tuple
+	distinct int
+}
+
+// statsEntry holds the per-set statistics block, same build-once
+// protocol as indexEntry.
+type statsEntry struct {
+	done  chan struct{}
+	stats *SetStats
+}
+
+// SetStats are the per-set statistics the planner costs candidate
+// orders with, collected in one pass over the set.
+type SetStats struct {
+	// Card is the total tuple count (summed over occurrences for
+	// nested set types).
+	Card int
+	// Occs is the number of occurrences (1 for top-level sets).
+	Occs int
+	// Distinct maps each atom attribute to its number of distinct
+	// non-nil values (top-level sets only; nil-valued slots do not
+	// count, matching index construction).
+	Distinct map[string]int
+}
+
+// AvgOccSize estimates the tuples per occurrence (the candidate count
+// of a parent-bound nested atom).
+func (s *SetStats) AvgOccSize() float64 {
+	if s.Occs == 0 {
+		return 0
+	}
+	return float64(s.Card) / float64(s.Occs)
+}
+
+// StoreMetrics reports accumulated index-store effort, for the
+// musebench retrieval columns.
+type StoreMetrics struct {
+	// IndexesBuilt counts distinct (set, attribute list) indexes
+	// materialized.
+	IndexesBuilt int
+	// BuildTime is the total wall-clock spent building them.
+	BuildTime time.Duration
+	// Probes counts indexed candidate lookups served.
+	Probes int64
+}
+
+// NewIndexStore creates an empty store over the instance.
+func NewIndexStore(in *instance.Instance) *IndexStore {
+	return &IndexStore{
+		in:      in,
+		indexes: make(map[*nr.SetType]map[string]*indexEntry),
+		stats:   make(map[*nr.SetType]*statsEntry),
+	}
+}
+
+// Instance returns the instance the store indexes.
+func (s *IndexStore) Instance() *instance.Instance { return s.in }
+
+// Metrics returns a snapshot of the store's accumulated effort.
+func (s *IndexStore) Metrics() StoreMetrics {
+	return StoreMetrics{
+		IndexesBuilt: int(s.built.Load()),
+		BuildTime:    time.Duration(s.buildNanos.Load()),
+		Probes:       s.probes.Load(),
+	}
+}
+
+// Index returns the hash index of the top-level set st over the given
+// attribute list (single- or composite-attribute), building it on
+// first use. Attrs must be in canonical (sorted) order — Eval's plans
+// guarantee this. The returned map and its buckets are shared and
+// read-only. The attrs identity key is composed in a store-owned
+// buffer, so a cache hit allocates nothing.
+func (s *IndexStore) Index(st *nr.SetType, attrs []string) map[string][]*instance.Tuple {
+	s.mu.Lock()
+	buf := s.keyBuf[:0]
+	for _, a := range attrs {
+		buf = append(buf, a...)
+		buf = append(buf, '\x00')
+	}
+	s.keyBuf = buf
+	byAttrs := s.indexes[st]
+	if e, ok := byAttrs[string(buf)]; ok {
+		s.mu.Unlock()
+		<-e.done
+		s.probes.Add(1)
+		return e.idx
+	}
+	if byAttrs == nil {
+		byAttrs = make(map[string]*indexEntry)
+		s.indexes[st] = byAttrs
+	}
+	e := &indexEntry{done: make(chan struct{})}
+	byAttrs[string(buf)] = e
+	s.mu.Unlock()
+
+	start := time.Now()
+	e.idx = buildIndex(s.in.Top(st), attrs)
+	e.distinct = len(e.idx)
+	s.built.Add(1)
+	s.buildNanos.Add(int64(time.Since(start)))
+	close(e.done)
+	s.probes.Add(1)
+	return e.idx
+}
+
+// buildIndex materializes one hash index: tuples keyed by the
+// concatenation of their values' canonical keys over attrs. Tuples
+// with any unset attr are excluded — they can never satisfy a pin or
+// bind on that attr.
+func buildIndex(set *instance.SetVal, attrs []string) map[string][]*instance.Tuple {
+	idx := make(map[string][]*instance.Tuple)
+	var buf []byte
+	set.Each(func(t *instance.Tuple) bool {
+		buf = buf[:0]
+		for _, a := range attrs {
+			v := t.Get(a)
+			if v == nil {
+				return true
+			}
+			buf = instance.AppendValueKey(buf, v)
+			buf = append(buf, '\x05')
+		}
+		idx[string(buf)] = append(idx[string(buf)], t)
+		return true
+	})
+	return idx
+}
+
+// ProbeKey composes the lookup key for an Index(st, attrs) probe into
+// buf (reused across probes; the caller passes buf[:0]).
+func ProbeKey(buf []byte, vals []instance.Value) []byte {
+	for _, v := range vals {
+		buf = instance.AppendValueKey(buf, v)
+		buf = append(buf, '\x05')
+	}
+	return buf
+}
+
+// Stats returns the statistics block for the set type, computing it on
+// first use. For top-level sets one pass collects cardinality and
+// per-attribute distinct counts; for nested set types only the
+// cardinality/occurrence aggregate is collected (their atoms are never
+// index-probed — nested atoms follow the parent's SetRef).
+func (s *IndexStore) Stats(st *nr.SetType) *SetStats {
+	s.mu.Lock()
+	if e, ok := s.stats[st]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.stats
+	}
+	e := &statsEntry{done: make(chan struct{})}
+	s.stats[st] = e
+	s.mu.Unlock()
+
+	start := time.Now()
+	e.stats = collectStats(s.in, st)
+	s.buildNanos.Add(int64(time.Since(start)))
+	close(e.done)
+	return e.stats
+}
+
+func collectStats(in *instance.Instance, st *nr.SetType) *SetStats {
+	stats := &SetStats{Distinct: make(map[string]int, len(st.Atoms))}
+	if st.Parent == nil {
+		set := in.Top(st)
+		stats.Card = set.Len()
+		stats.Occs = 1
+		seen := make([]map[string]struct{}, len(st.Atoms))
+		for i := range seen {
+			seen[i] = make(map[string]struct{})
+		}
+		var buf []byte
+		set.Each(func(t *instance.Tuple) bool {
+			for i, a := range st.Atoms {
+				if v := t.Get(a); v != nil {
+					buf = instance.AppendValueKey(buf[:0], v)
+					if _, ok := seen[i][string(buf)]; !ok {
+						seen[i][string(buf)] = struct{}{}
+					}
+				}
+			}
+			return true
+		})
+		for i, a := range st.Atoms {
+			stats.Distinct[a] = len(seen[i])
+		}
+		return stats
+	}
+	for _, occ := range in.Occurrences(st) {
+		stats.Card += occ.Len()
+		stats.Occs++
+	}
+	return stats
+}
+
+// sortedAttrs returns a sorted copy of attrs (canonical index order).
+func sortedAttrs(attrs []string) []string {
+	out := append([]string(nil), attrs...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,318 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// wideInstance fills Companies with n tuples sharing cname/location.
+func wideInstance(cat *nr.Catalog, n int) *instance.Instance {
+	in := instance.New(cat)
+	for i := 0; i < n; i++ {
+		in.MustInsertVals("Companies", itoa(i), "C", "L")
+	}
+	return in
+}
+
+// TestTimeoutPartialResults: a single-atom scan over 600 tuples with a
+// 1ns budget provably times out (the deadline is checked every 256
+// steps), returning ErrTimeout together with the matches found before
+// the check fired.
+func TestTimeoutPartialResults(t *testing.T) {
+	cat := compCat()
+	in := wideInstance(cat, 600)
+	q := &Query{
+		Src:   cat,
+		Atoms: []Atom{{Var: "c", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cid": "x"}}},
+	}
+	ms, err := q.Eval(in, Options{Timeout: time.Nanosecond})
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if len(ms) == 0 || len(ms) >= 600 {
+		t.Errorf("partial results = %d matches, want some but not all 600", len(ms))
+	}
+	// The partial prefix is the deterministic scan prefix.
+	for i, m := range ms {
+		if got := m.Tuples[0].Get("cid").String(); got != itoa(i) {
+			t.Fatalf("match %d is tuple %s, want the scan prefix %s", i, got, itoa(i))
+		}
+	}
+}
+
+// TestFirstNotFoundOnTimeout: an impossible inequality pattern over a
+// 400×400 cross product times out before exhausting the space; First
+// reports not-found and surfaces the error.
+func TestFirstNotFoundOnTimeout(t *testing.T) {
+	cat := compCat()
+	in := wideInstance(cat, 400)
+	q := &Query{
+		Src: cat,
+		Atoms: []Atom{
+			{Var: "c1", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cname": "n1"}},
+			{Var: "c2", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cname": "n2"}},
+		},
+		Neq: [][2]string{{"n1", "n2"}},
+	}
+	m, ok, err := q.First(in, time.Nanosecond)
+	if ok {
+		t.Fatalf("found %v for an impossible pattern", m)
+	}
+	if err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestLimitStopsBacktrackingEarly: Limit returns exactly the first
+// Limit matches of the deterministic search order — no extra matches
+// are appended past the quota.
+func TestLimitStopsBacktrackingEarly(t *testing.T) {
+	cat := compCat()
+	in := wideInstance(cat, 600)
+	q := &Query{
+		Src:   cat,
+		Atoms: []Atom{{Var: "c", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cid": "x"}}},
+	}
+	ms, err := q.Eval(in, Options{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("Limit=3 returned %d matches", len(ms))
+	}
+	for i, m := range ms {
+		if got := m.Tuples[0].Get("cid").String(); got != itoa(i) {
+			t.Errorf("match %d is tuple %s, want %s", i, got, itoa(i))
+		}
+	}
+}
+
+// joinQuery is the Fig. 3(a) probe pattern used by several tests.
+func joinQuery(cat *nr.Catalog) *Query {
+	return &Query{
+		Src: cat,
+		Atoms: []Atom{
+			{Var: "c1", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cid": "x1", "cname": "n", "location": "l"}},
+			{Var: "c2", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cid": "x2", "cname": "n", "location": "l"}},
+			{Var: "p1", Set: nr.ParsePath("Projects"), Bind: map[string]string{"cid": "x1"}},
+			{Var: "p2", Set: nr.ParsePath("Projects"), Bind: map[string]string{"cid": "x2"}},
+		},
+		Neq: [][2]string{{"x1", "x2"}},
+	}
+}
+
+// canonicalMatches renders a match set order-independently, for
+// multiset comparison across evaluation modes.
+func canonicalMatches(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		s := ""
+		for _, t := range m.Tuples {
+			s += t.Key() + "|"
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+// orderedMatches renders a match list order-sensitively, for
+// determinism comparison across repeated runs.
+func orderedMatches(ms []Match) string {
+	s := ""
+	for _, m := range ms {
+		for _, t := range m.Tuples {
+			s += t.Key() + "|"
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// TestPlannedMatchesNaive: the cost-based planned evaluation returns
+// exactly the matches of the naive (given-order, scan-only, check-all
+// inequalities) reference semantics, and repeated planned runs return
+// them in an identical order (the planner consults no map-iteration
+// order).
+func TestPlannedMatchesNaive(t *testing.T) {
+	cat := compCat()
+	in := compInstance(cat)
+	queries := map[string]*Query{
+		"fig3a": joinQuery(cat),
+		"join": {Src: cat, Atoms: []Atom{
+			{Var: "c", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cid": "x"}},
+			{Var: "p", Set: nr.ParsePath("Projects"), Bind: map[string]string{"cid": "x", "pname": "pn"}},
+		}},
+		"pinned": {Src: cat, Atoms: []Atom{
+			{Var: "p", Set: nr.ParsePath("Projects"), Bind: map[string]string{"cid": "x", "pname": "pn"}},
+			{Var: "c", Set: nr.ParsePath("Companies"), Bind: map[string]string{"cid": "x"},
+				Pin: map[string]instance.Value{"cname": instance.C("IBM"), "location": instance.C("NY")}},
+		}},
+	}
+	for name, q := range queries {
+		t.Run(name, func(t *testing.T) {
+			naive, err := q.Eval(in, Options{Naive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			planned, err := q.Eval(in, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := canonicalMatches(planned), canonicalMatches(naive)
+			if len(got) != len(want) {
+				t.Fatalf("planned returned %d matches, naive %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("match sets differ at %d:\nplanned %q\nnaive   %q", i, got[i], want[i])
+				}
+			}
+			first := orderedMatches(planned)
+			for run := 0; run < 5; run++ {
+				again, err := q.Eval(in, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if orderedMatches(again) != first {
+					t.Fatalf("run %d returned a different match order", run)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerial: partition racing returns byte-identical
+// results to the serial evaluation, with and without a limit.
+func TestParallelMatchesSerial(t *testing.T) {
+	cat := compCat()
+	in := compInstance(cat)
+	for i := 0; i < 40; i++ {
+		in.MustInsertVals("Companies", fmt.Sprintf("9%03d", i), "Para", "XX")
+		in.MustInsertVals("Projects", fmt.Sprintf("pp%03d", i), "P", fmt.Sprintf("9%03d", i))
+	}
+	q := joinQuery(cat)
+	store := NewIndexStore(in)
+	serial, err := q.Eval(in, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("no serial matches; the test instance is broken")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		par, err := q.Eval(in, Options{Store: store, Parallel: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orderedMatches(par) != orderedMatches(serial) {
+			t.Fatalf("Parallel=%d differs from serial (%d vs %d matches)", workers, len(par), len(serial))
+		}
+	}
+	limited, err := q.Eval(in, Options{Store: store, Limit: 7, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialLimited, err := q.Eval(in, Options{Store: store, Limit: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orderedMatches(limited) != orderedMatches(serialLimited) {
+		t.Fatalf("Parallel+Limit differs from serial+Limit")
+	}
+}
+
+// TestSharedStoreConcurrent exercises concurrent evaluations over one
+// shared store (the prefetch-worker situation): every evaluation sees
+// the same results and each index is built exactly once.
+func TestSharedStoreConcurrent(t *testing.T) {
+	cat := compCat()
+	in := compInstance(cat)
+	store := NewIndexStore(in)
+	q := joinQuery(cat)
+	want, err := q.Eval(in, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := store.Metrics().IndexesBuilt
+	var wg sync.WaitGroup
+	errs := make([]string, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ms, err := q.Eval(in, Options{Store: store})
+			if err != nil {
+				errs[g] = err.Error()
+				return
+			}
+			if orderedMatches(ms) != orderedMatches(want) {
+				errs[g] = "results differ from the serial baseline"
+			}
+		}()
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Errorf("goroutine %d: %s", g, e)
+		}
+	}
+	if got := store.Metrics().IndexesBuilt; got != baseline {
+		t.Errorf("concurrent evaluations built %d extra indexes; want reuse of the %d existing", got-baseline, baseline)
+	}
+}
+
+// TestStoreStats sanity-checks the planner's statistics source.
+func TestStoreStats(t *testing.T) {
+	cat := compCat()
+	in := compInstance(cat)
+	store := NewIndexStore(in)
+	st := cat.ByPath(nr.ParsePath("Companies"))
+	stats := store.Stats(st)
+	if stats.Card != 4 {
+		t.Errorf("Card = %d, want 4", stats.Card)
+	}
+	if stats.Distinct["cid"] != 4 || stats.Distinct["cname"] != 2 || stats.Distinct["location"] != 2 {
+		t.Errorf("Distinct = %v", stats.Distinct)
+	}
+	if again := store.Stats(st); again != stats {
+		t.Error("Stats recomputed instead of cached")
+	}
+}
+
+// TestCompositeIndexProbe: with two attributes pinned, the planner
+// probes one composite index rather than intersecting two single
+// ones; the composite index is registered in the store.
+func TestCompositeIndexProbe(t *testing.T) {
+	cat := compCat()
+	in := compInstance(cat)
+	store := NewIndexStore(in)
+	q := &Query{
+		Src: cat,
+		Atoms: []Atom{
+			{Var: "c", Set: nr.ParsePath("Companies"),
+				Pin: map[string]instance.Value{"cname": instance.C("IBM"), "location": instance.C("NY")}},
+		},
+	}
+	ms, err := q.Eval(in, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Errorf("composite pin matched %d companies, want 2 (11, 12)", len(ms))
+	}
+	m := store.Metrics()
+	if m.IndexesBuilt != 1 {
+		t.Errorf("built %d indexes, want exactly the one composite", m.IndexesBuilt)
+	}
+	if m.Probes == 0 {
+		t.Error("no index probes recorded")
+	}
+}
