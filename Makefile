@@ -1,15 +1,16 @@
 # Development targets. `make ci` is the gate every change must pass:
 # vet, build, the full test suite under the race detector, a focused
 # race pass over the retrieval path (concurrent index building in
-# internal/query + the wizards' prefetch workers), and benchmark smoke
+# internal/query + the wizards' prefetch workers), benchmark smoke
 # runs (one iteration; catch bit-rot in the bench harness without
-# paying for a full sweep).
+# paying for a full sweep), and an observability smoke run (an
+# end-to-end wizard session must produce non-zero metrics and a trace).
 
 GO ?= go
 
-.PHONY: ci vet build test race race-retrieval bench-smoke bench
+.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke bench-guard bench
 
-ci: vet build race race-retrieval bench-smoke
+ci: vet build race race-retrieval bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +29,28 @@ race-retrieval:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkChase|BenchmarkProbeRetrieval' -benchtime=1x .
+
+# End-to-end observability check: run a scripted Muse-G session on the
+# Fig. 1 scenario with -metrics and -trace, then assert the headline
+# counters (questions, planner tiers, index probes, chase tuples) are
+# non-zero and the trace contains chase spans.
+obs-smoke:
+	@tmp=$$(mktemp -d); \
+	yes 1 | $(GO) run ./cmd/muse -doc testdata/fig1.muse -src CompDB -tgt OrgDB \
+		-instance I -mode group -mapping m2 \
+		-metrics $$tmp/metrics.txt -trace $$tmp/trace.jsonl >/dev/null && \
+	grep -q '^muse_museg_questions_total [1-9]' $$tmp/metrics.txt && \
+	grep -q '^muse_plan_tier_.*_total [1-9]' $$tmp/metrics.txt && \
+	grep -q '^muse_index_probes_total [1-9]' $$tmp/metrics.txt && \
+	grep -q '^muse_chase_tuples_total [1-9]' $$tmp/metrics.txt && \
+	grep -q '"name":"chase"' $$tmp/trace.jsonl && \
+	echo "obs-smoke: metrics and trace OK"; st=$$?; rm -rf $$tmp; exit $$st
+
+# Instrumentation-overhead guard: with obs disabled, chase and warm
+# retrieval allocs/op must stay within the recorded seed baselines
+# (see bench_guard_test.go).
+bench-guard:
+	MUSE_BENCH_GUARD=1 $(GO) test -run TestBenchGuard -count=1 -v .
 
 # Full benchmark sweep with allocation counts; compare against
 # BENCH_baseline.json (chase) and BENCH_retrieval_baseline.json

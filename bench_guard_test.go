@@ -1,0 +1,151 @@
+// The instrumentation-overhead guard: with observability disabled
+// (nil obs), the chase and the warm retrieval path must allocate no
+// more per operation than the recorded seed baselines — the nil-safe
+// hooks must stay one branch, not a hidden cost. The guard re-runs
+// the two baseline-tracked benchmarks via testing.Benchmark and
+// compares allocs/op (exact, unlike ns/op) against the checked-in
+// JSON. Run it with
+//
+//	MUSE_BENCH_GUARD=1 go test -run TestBenchGuard .
+//
+// (or `make bench-guard`); unset, the test skips so the ordinary
+// suite stays fast.
+package muse_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"muse/internal/chase"
+	"muse/internal/core"
+	"muse/internal/designer"
+	"muse/internal/mapping"
+	"muse/internal/scenarios"
+)
+
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+func loadBaseline(t *testing.T, path string) baselineFile {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return f
+}
+
+// guardMappings is scenarioMappings without the *testing.B plumbing.
+func guardMappings(s *scenarios.Scenario) ([]*mapping.Mapping, error) {
+	set, err := s.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var ms []*mapping.Mapping
+	for _, m := range set.Mappings {
+		if m.Ambiguous() {
+			m = m.Interpretation(make([]int, len(m.OrGroups)))
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// guardRetrievalMapping is retrievalMapping without the *testing.B
+// plumbing; it returns nil when the scenario has no suitable mapping.
+func guardRetrievalMapping(s *scenarios.Scenario) (*mapping.Mapping, error) {
+	set, err := s.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var fallback *mapping.Mapping
+	for _, m := range set.Mappings {
+		if m.Ambiguous() || len(m.SKs) == 0 {
+			continue
+		}
+		if len(m.For) >= 2 {
+			return m, nil
+		}
+		if fallback == nil {
+			fallback = m
+		}
+	}
+	return fallback, nil
+}
+
+func TestBenchGuard(t *testing.T) {
+	if os.Getenv("MUSE_BENCH_GUARD") == "" {
+		t.Skip("set MUSE_BENCH_GUARD=1 to run the instrumentation-overhead guard")
+	}
+
+	check := func(name string, got, want int64) {
+		if want == 0 {
+			t.Errorf("%s: no baseline entry", name)
+			return
+		}
+		if got > want {
+			t.Errorf("%s: %d allocs/op with obs disabled exceeds the seed baseline %d", name, got, want)
+		} else {
+			fmt.Printf("bench-guard %-40s %8d allocs/op (baseline %d)\n", name, got, want)
+		}
+	}
+
+	chaseBase := loadBaseline(t, "BENCH_baseline.json")
+	for _, s := range scenarios.All() {
+		ms, err := guardMappings(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := s.NewInstance(0.02)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Chase(in, ms...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		name := "BenchmarkChaseScenario/" + s.Name
+		check(name, r.AllocsPerOp(), chaseBase.Benchmarks[name].AllocsPerOp)
+	}
+
+	retrBase := loadBaseline(t, "BENCH_retrieval_baseline.json")
+	for _, s := range scenarios.All() {
+		m, err := guardRetrievalMapping(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			continue
+		}
+		oracle, err := designer.StrategyOracle(designer.G1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := s.NewInstance(0.1)
+		// One wizard across iterations: the warm (index-reusing) half of
+		// the baseline pair.
+		w := core.NewGroupingWizard(s.Src, in)
+		w.Timeout = 100 * time.Millisecond
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.DesignMapping(m, oracle); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		name := "BenchmarkProbeRetrieval/" + s.Name
+		check(name, r.AllocsPerOp(), retrBase.Benchmarks[name].AllocsPerOp)
+	}
+}

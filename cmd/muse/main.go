@@ -38,6 +38,8 @@ func main() {
 	mode := flag.String("mode", "session", "session | disambiguate | group | groupmore | groupless | joins")
 	mapName := flag.String("mapping", "", "mapping to refine (group* modes)")
 	skName := flag.String("sk", "", "grouping function to design (group* modes; default: all)")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot here on exit (- for stdout)")
+	tracePath := flag.String("trace", "", "stream span events (JSON lines) to this file")
 	flag.Parse()
 
 	if *docPath == "" || *src == "" || *tgt == "" {
@@ -66,9 +68,22 @@ func main() {
 	deps := doc.Deps[*src]
 	ui := &console{in: bufio.NewReader(os.Stdin)}
 
+	var o *muse.Obs
+	var traceFile *os.File
+	if *metricsPath != "" || *tracePath != "" {
+		o = muse.NewObs()
+		if *tracePath != "" {
+			traceFile, err = os.Create(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o.Tr.SetSink(traceFile)
+		}
+	}
+
 	switch *mode {
 	case "session":
-		session := muse.NewSession(deps, real)
+		session := muse.NewSession(deps, real).Observe(o)
 		out, err := session.Run(set, ui, ui)
 		if err != nil {
 			log.Fatal(err)
@@ -79,6 +94,7 @@ func main() {
 			session.Grouping.Stats.TotalQuestions())
 	case "disambiguate":
 		w := muse.NewDisambiguationWizard(deps, real)
+		w.Obs = o
 		var out []*muse.Mapping
 		for _, m := range set.Mappings {
 			ms, err := w.Disambiguate(m, ui)
@@ -94,6 +110,7 @@ func main() {
 			log.Fatalf("no mapping %q (have: %s)", *mapName, names(set.Mappings))
 		}
 		w := muse.NewGroupingWizard(deps, real)
+		w.Obs = o
 		var out *muse.Mapping
 		switch {
 		case *mode == "group" && *skName == "":
@@ -115,6 +132,7 @@ func main() {
 			log.Fatalf("no mapping %q (have: %s)", *mapName, names(set.Mappings))
 		}
 		w := muse.NewDisambiguationWizard(deps, real)
+		w.Obs = o
 		out, err := w.DesignJoins(m, ui)
 		if err != nil {
 			log.Fatal(err)
@@ -123,6 +141,32 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+
+	if traceFile != nil {
+		traceFile.Close()
+	}
+	if o != nil && *metricsPath != "" {
+		if err := writeMetrics(o.Reg, *metricsPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeMetrics dumps the registry in the Prometheus text format to
+// path ("-" for stdout).
+func writeMetrics(reg *muse.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printMappings(ms []*muse.Mapping) {

@@ -30,6 +30,7 @@ import (
 
 	"muse/internal/bench"
 	"muse/internal/designer"
+	"muse/internal/obs"
 	"muse/internal/scenarios"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "race this many retrieval partitions per probe query (0 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	metricsPath := flag.String("metrics", "", "accumulate run metrics and write a snapshot here on exit (- for stdout)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -69,6 +71,13 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	var o *obs.Obs
+	var deltas *counterDeltas
+	if *metricsPath != "" {
+		o = obs.New()
+		deltas = newCounterDeltas(o.Reg)
 	}
 
 	scns := scenarios.All()
@@ -100,7 +109,7 @@ func main() {
 	}
 
 	if runG {
-		cfg := bench.MuseGConfig{Scale: *scale, Timeout: *timeout, NoKeys: *noKeys, NoReal: *noReal, Parallel: *parallel}
+		cfg := bench.MuseGConfig{Scale: *scale, Timeout: *timeout, NoKeys: *noKeys, NoReal: *noReal, Parallel: *parallel, Obs: o}
 		var rows []bench.MuseGRow
 		for _, s := range scns {
 			for _, strat := range []designer.Strategy{designer.G1, designer.G2, designer.G3} {
@@ -110,7 +119,8 @@ func main() {
 					log.Fatal(err)
 				}
 				rows = append(rows, row)
-				fmt.Fprintf(os.Stderr, "· %s %s done in %s\n", s.Name, strat, time.Since(start).Round(time.Millisecond))
+				fmt.Fprintf(os.Stderr, "· %s %s done in %s%s\n", s.Name, strat,
+					time.Since(start).Round(time.Millisecond), deltas.line())
 			}
 		}
 		fmt.Println(bench.FormatMuseG(rows))
@@ -122,14 +132,69 @@ func main() {
 			if s.PaperDQuestions == 0 && *scenario == "" {
 				continue // the paper runs Muse-D only where ambiguity exists
 			}
-			row, err := bench.RunMuseD(s, *scale)
+			row, err := bench.RunMuseDObs(s, *scale, o)
 			if err != nil {
 				log.Fatal(err)
 			}
 			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr, "· %s Muse-D done%s\n", s.Name, deltas.line())
 		}
 		if len(rows) > 0 {
 			fmt.Println(bench.FormatMuseD(rows))
 		}
 	}
+
+	if o != nil {
+		w := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := o.Reg.WriteText(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// counterDeltas prints, per benchmark row, how much a few headline
+// counters moved since the previous row.
+type counterDeltas struct {
+	reg  *obs.Registry
+	prev map[string]int64
+}
+
+var deltaNames = []struct{ label, name string }{
+	{"questions", obs.MMuseGQuestions},
+	{"evals", obs.MQueryEvals},
+	{"idx builds", obs.MIndexBuilds},
+	{"idx hits", obs.MIndexHits},
+	{"chase tuples", obs.MChaseTuples},
+}
+
+func newCounterDeltas(reg *obs.Registry) *counterDeltas {
+	return &counterDeltas{reg: reg, prev: make(map[string]int64)}
+}
+
+// line renders " [questions +12 evals +340 ...]" and advances the
+// baseline; the nil receiver (metrics disabled) renders nothing.
+func (d *counterDeltas) line() string {
+	if d == nil {
+		return ""
+	}
+	out := ""
+	for _, dn := range deltaNames {
+		cur := d.reg.Get(dn.name)
+		if diff := cur - d.prev[dn.name]; diff != 0 {
+			out += fmt.Sprintf(" %s +%d", dn.label, diff)
+		}
+		d.prev[dn.name] = cur
+	}
+	if out == "" {
+		return ""
+	}
+	return " [" + out[1:] + "]"
 }

@@ -27,6 +27,8 @@ func main() {
 	xmlPath := flag.String("xml", "", "load the source instance from this XML file instead")
 	outXML := flag.Bool("oxml", false, "print the result as XML instead of the nested text form")
 	sql := flag.Bool("sql", false, "print the SQL transformation script instead of chasing")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot here on exit (- for stdout)")
+	tracePath := flag.String("trace", "", "stream span events (JSON lines) to this file")
 	flag.Parse()
 
 	if *docPath == "" || *src == "" || *tgt == "" {
@@ -86,7 +88,19 @@ func main() {
 	if amb := set.Ambiguous(); len(amb) > 0 {
 		log.Fatalf("mapping %s is ambiguous; disambiguate it first (cmd/muse -mode disambiguate)", amb[0].Name)
 	}
-	out, err := muse.Chase(source, set.Mappings...)
+	var o *muse.Obs
+	var traceFile *os.File
+	if *metricsPath != "" || *tracePath != "" {
+		o = muse.NewObs()
+		if *tracePath != "" {
+			traceFile, err = os.Create(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o.Tr.SetSink(traceFile)
+		}
+	}
+	out, err := muse.ChaseObs(source, o, set.Mappings...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +108,24 @@ func main() {
 		if err := muse.WriteXML(out, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-		return
+	} else {
+		fmt.Print(out)
 	}
-	fmt.Print(out)
+	if traceFile != nil {
+		traceFile.Close()
+	}
+	if o != nil && *metricsPath != "" {
+		w := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := o.Reg.WriteText(w); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"muse"
+	"muse/internal/obs"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 	src := flag.String("src", "", "source schema name")
 	tgt := flag.String("tgt", "", "target schema name")
 	sql := flag.Bool("sql", false, "also print the SQL transformation script")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot here on exit (- for stdout)")
 	flag.Parse()
 
 	if *docPath == "" || *src == "" || *tgt == "" {
@@ -42,9 +44,19 @@ func main() {
 	if len(corrs) == 0 {
 		log.Fatalf("document has no correspondences from %s to %s", *src, *tgt)
 	}
+	var o *muse.Obs
+	if *metricsPath != "" {
+		o = muse.NewObs()
+	}
+	sp := o.Start(obs.SpanGen)
 	set, err := muse.GenerateMappings(doc.Deps[*src], doc.Deps[*tgt], corrs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if o != nil {
+		o.Counter(obs.MGenMappings).Add(int64(len(set.Mappings)))
+		o.Counter(obs.MGenAmbiguous).Add(int64(len(set.Ambiguous())))
+		sp.Attr("corrs", len(corrs)).Attr("mappings", len(set.Mappings)).Attr("ambiguous", len(set.Ambiguous())).End()
 	}
 	fmt.Printf("# generated %d mapping(s), %d ambiguous\n\n", len(set.Mappings), len(set.Ambiguous()))
 	for _, m := range set.Mappings {
@@ -59,5 +71,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(script)
+	}
+	if o != nil {
+		w := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := o.Reg.WriteText(w); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

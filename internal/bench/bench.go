@@ -14,6 +14,7 @@ import (
 	"muse/internal/designer"
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/obs"
 	"muse/internal/scenarios"
 )
 
@@ -91,6 +92,9 @@ type MuseGConfig struct {
 	// Parallel races that many retrieval partitions per probe query
 	// (0/1 = serial).
 	Parallel int
+	// Obs, when non-nil, accumulates the run's metrics and spans
+	// (threaded through the wizards, the chase and the query engine).
+	Obs *obs.Obs
 }
 
 // DefaultMuseGConfig mirrors the paper's setup.
@@ -103,7 +107,7 @@ func DefaultMuseGConfig() MuseGConfig {
 // reports the Fig. 5 columns.
 func RunMuseG(s *scenarios.Scenario, strat designer.Strategy, cfg MuseGConfig) (MuseGRow, error) {
 	in := s.NewInstance(cfg.Scale)
-	ms, err := disambiguatedMappings(s, in)
+	ms, err := disambiguatedMappings(s, in, cfg.Obs)
 	if err != nil {
 		return MuseGRow{}, err
 	}
@@ -116,6 +120,7 @@ func RunMuseG(s *scenarios.Scenario, strat designer.Strategy, cfg MuseGConfig) (
 	gw := core.NewGroupingWizard(src, in)
 	gw.Timeout = cfg.Timeout
 	gw.Parallel = cfg.Parallel
+	gw.Obs = cfg.Obs
 	if cfg.NoReal {
 		gw.Real = nil
 	}
@@ -151,12 +156,13 @@ func RunMuseG(s *scenarios.Scenario, strat designer.Strategy, cfg MuseGConfig) (
 // disambiguatedMappings resolves every ambiguous mapping with a
 // first-alternative oracle (the Sec. V pipeline order: Muse-D before
 // Muse-G).
-func disambiguatedMappings(s *scenarios.Scenario, in *instance.Instance) ([]*mapping.Mapping, error) {
+func disambiguatedMappings(s *scenarios.Scenario, in *instance.Instance, o *obs.Obs) ([]*mapping.Mapping, error) {
 	set, err := s.Generate()
 	if err != nil {
 		return nil, err
 	}
 	dw := core.NewDisambiguationWizard(s.Src, in)
+	dw.Obs = o
 	var out []*mapping.Mapping
 	for _, m := range set.Mappings {
 		if !m.Ambiguous() {
@@ -201,12 +207,19 @@ type MuseDRow struct {
 // RunMuseD disambiguates every ambiguous mapping of the scenario and
 // reports the Muse-D table columns.
 func RunMuseD(s *scenarios.Scenario, scale float64) (MuseDRow, error) {
+	return RunMuseDObs(s, scale, nil)
+}
+
+// RunMuseDObs is RunMuseD with an observability bundle threaded
+// through the wizard (nil disables instrumentation).
+func RunMuseDObs(s *scenarios.Scenario, scale float64, o *obs.Obs) (MuseDRow, error) {
 	set, err := s.Generate()
 	if err != nil {
 		return MuseDRow{}, err
 	}
 	in := s.NewInstance(scale)
 	dw := core.NewDisambiguationWizard(s.Src, in)
+	dw.Obs = o
 	for _, m := range set.Ambiguous() {
 		sels := make([][]int, len(m.OrGroups))
 		for i := range sels {

@@ -8,6 +8,7 @@ import (
 	"muse/internal/instance"
 	"muse/internal/mapping"
 	"muse/internal/nr"
+	"muse/internal/obs"
 )
 
 // Chase chases src with the given mappings and returns the canonical
@@ -22,6 +23,14 @@ import (
 // byte-identical to ChaseSerial's while multi-mapping scenarios scale
 // with cores.
 func Chase(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, error) {
+	return ChaseObs(src, nil, ms...)
+}
+
+// ChaseObs is Chase with observability: when o is non-nil, the run
+// records one "chase" span (plus a "chase.mapping" span per mapping)
+// on o's tracer and accumulates assignment/tuple/null counters on o's
+// registry (DESIGN.md §8). A nil o costs one branch.
+func ChaseObs(src *instance.Instance, o *obs.Obs, ms ...*mapping.Mapping) (*instance.Instance, error) {
 	infos, tgtCat, err := prepare(ms)
 	if err != nil {
 		return nil, err
@@ -30,8 +39,14 @@ func Chase(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, 
 	if workers > len(ms) {
 		workers = len(ms)
 	}
+	sp := o.Start(obs.SpanChase)
+	if o != nil {
+		o.Counter(obs.MChaseRuns).Inc()
+		o.Gauge(obs.GChaseWorkers).Set(int64(workers))
+	}
+	defer sp.Attr("mappings", len(ms)).Attr("workers", workers).End()
 	if workers <= 1 {
-		return chaseAll(src, ms, infos, tgtCat)
+		return chaseAll(src, ms, infos, tgtCat, o)
 	}
 	scratch := make([]*instance.Instance, len(ms))
 	errs := make([]error, len(ms))
@@ -44,7 +59,7 @@ func Chase(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, 
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			out := instance.New(tgtCat)
-			if errs[i] = chaseOne(src, ms[i], infos[i], out); errs[i] == nil {
+			if errs[i] = chaseOne(src, ms[i], infos[i], out, o); errs[i] == nil {
 				scratch[i] = out
 			}
 		}(i)
@@ -70,7 +85,7 @@ func ChaseSerial(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Inst
 	if err != nil {
 		return nil, err
 	}
-	return chaseAll(src, ms, infos, tgtCat)
+	return chaseAll(src, ms, infos, tgtCat, nil)
 }
 
 // prepare validates the mapping set and resolves each mapping once,
@@ -98,10 +113,10 @@ func prepare(ms []*mapping.Mapping) ([]*mapping.Info, *nr.Catalog, error) {
 	return infos, tgtCat, nil
 }
 
-func chaseAll(src *instance.Instance, ms []*mapping.Mapping, infos []*mapping.Info, tgtCat *nr.Catalog) (*instance.Instance, error) {
+func chaseAll(src *instance.Instance, ms []*mapping.Mapping, infos []*mapping.Info, tgtCat *nr.Catalog, o *obs.Obs) (*instance.Instance, error) {
 	out := instance.New(tgtCat)
 	for i, m := range ms {
-		if err := chaseOne(src, m, infos[i], out); err != nil {
+		if err := chaseOne(src, m, infos[i], out, o); err != nil {
 			return nil, err
 		}
 	}
@@ -124,22 +139,37 @@ func merge(out, scratch *instance.Instance) {
 
 // MustChase is Chase, panicking on error.
 func MustChase(src *instance.Instance, ms ...*mapping.Mapping) *instance.Instance {
-	out, err := Chase(src, ms...)
+	return MustChaseObs(src, nil, ms...)
+}
+
+// MustChaseObs is ChaseObs, panicking on error.
+func MustChaseObs(src *instance.Instance, o *obs.Obs, ms ...*mapping.Mapping) *instance.Instance {
+	out, err := ChaseObs(src, o, ms...)
 	if err != nil {
 		panic(err)
 	}
 	return out
 }
 
-func chaseOne(src *instance.Instance, m *mapping.Mapping, info *mapping.Info, out *instance.Instance) error {
+func chaseOne(src *instance.Instance, m *mapping.Mapping, info *mapping.Info, out *instance.Instance, o *obs.Obs) error {
 	plan, err := planTarget(m, info)
 	if err != nil {
 		return err
 	}
+	sp := o.Start(obs.SpanChaseMapping)
 	e := newEvaluator(src, m, info)
-	return e.each(func(asg assignment) error {
+	err = e.each(func(asg assignment) error {
 		return plan.emit(asg, out)
 	})
+	if o != nil {
+		o.Counter(obs.MChaseAssignments).Add(plan.nAsg)
+		o.Counter(obs.MChaseTuples).Add(plan.nTuples)
+		o.Counter(obs.MChaseNulls).Add(plan.nNulls)
+		o.Counter(obs.MChaseSetIDs).Add(plan.nSetIDs)
+		sp.Attr("mapping", m.Name).Attr("assignments", plan.nAsg).
+			Attr("tuples", plan.nTuples).Attr("nulls", plan.nNulls).End()
+	}
+	return err
 }
 
 // targetPlan precomputes, for one mapping, how to build the target
@@ -173,6 +203,11 @@ type targetPlan struct {
 	// escape).
 	varPos map[string]int
 	built  []*instance.Tuple
+	// nAsg/nTuples/nNulls/nSetIDs count this chase's work (plain ints:
+	// the plan is private to one chaseOne call); chaseOne flushes them
+	// to the observer's counters once per mapping, keeping atomics off
+	// the per-assignment path.
+	nAsg, nTuples, nNulls, nSetIDs int64
 }
 
 func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
@@ -265,6 +300,7 @@ func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
 
 // emit materializes the target tuples of one satisfying assignment.
 func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
+	p.nAsg++
 	// Enforce multi-feed consistency: if several source expressions
 	// feed one target slot, the assignment only fires when they agree
 	// (the mapping asserts their equality).
@@ -294,6 +330,7 @@ func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
 				t.Put(a, eval(asg, srcExpr))
 			} else {
 				t.Put(a, instance.NewNull(p.atomNull[v][a], skArgs...))
+				p.nNulls++
 			}
 		}
 		for _, f := range st.SetFields {
@@ -304,6 +341,7 @@ func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
 			}
 			ref := instance.NewSetRef(term.Fn, args...)
 			t.Put(f, ref)
+			p.nSetIDs++
 			// Materialize the (possibly empty) occurrence the SetID
 			// denotes, as in Fig. 2.
 			out.EnsureSet(p.childSet[v][f], ref)
@@ -311,6 +349,7 @@ func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
 		built[vi] = t
 	}
 	// Insert each tuple into its destination set occurrence.
+	p.nTuples += int64(len(p.m.Exists))
 	for _, g := range p.m.Exists {
 		t := built[p.varPos[g.Var]]
 		st := p.info.TgtVars[g.Var]

@@ -8,6 +8,7 @@ import (
 	"muse/internal/deps"
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/obs"
 	"muse/internal/query"
 )
 
@@ -30,6 +31,10 @@ type DisambiguationWizard struct {
 	// Parallel > 1 races that many partitions of each retrieval's
 	// candidate space under the timeout (deterministic results).
 	Parallel int
+	// Obs, when non-nil, mirrors the per-mapping stats onto its
+	// registry (muse_mused_*), threads through to the chase and query
+	// engines, and records one "mused.disambiguate" span per question.
+	Obs *obs.Obs
 	// Stats accumulates per-mapping effort.
 	Stats DStats
 }
@@ -38,9 +43,9 @@ type DisambiguationWizard struct {
 // creating the session's index store on first use.
 func (w *DisambiguationWizard) retrieval() query.Options {
 	if w.Real != nil && (w.Store == nil || w.Store.Instance() != w.Real) {
-		w.Store = query.NewIndexStore(w.Real)
+		w.Store = query.NewIndexStore(w.Real).Observe(w.Obs.Registry())
 	}
-	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel}
+	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel, Obs: w.Obs}
 }
 
 // DStats records Muse-D effort, feeding the Sec. VI Muse-D table.
@@ -99,6 +104,8 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	if _, err := m.Analyze(); err != nil {
 		return nil, err
 	}
+	sp := w.Obs.Start(obs.SpanMuseD)
+	defer sp.End()
 
 	// One copy of the canonical tableau; the or-group alternatives must
 	// be pairwise distinguishable, so they are left in distinct classes
@@ -152,7 +159,7 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	// dropped), leaving nulls in the ambiguous slots.
 	common := m.Clone()
 	common.OrGroups = nil
-	target, err := chase.Chase(ie, common)
+	target, err := chase.ChaseObs(ie, w.Obs, common)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +193,18 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 		ChoiceValues: len(m.OrGroups),
 		Real:         real,
 	})
+	if w.Obs != nil {
+		r := w.Obs.Reg
+		r.Counter(obs.MMuseDQuestions).Inc()
+		r.Counter(obs.MMuseDAlternatives).Add(int64(m.AlternativeCount()))
+		if real {
+			r.Counter(obs.MMuseDRealExamples).Inc()
+		} else {
+			r.Counter(obs.MMuseDSyntheticExamples).Inc()
+		}
+		r.Counter(obs.MMuseDSourceTuples).Add(int64(ie.TupleCount()))
+		sp.Attr("mapping", m.Name).Attr("alternatives", m.AlternativeCount()).Attr("real", real)
+	}
 	return out, nil
 }
 

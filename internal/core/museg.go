@@ -11,6 +11,7 @@ import (
 	"muse/internal/homo"
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/obs"
 	"muse/internal/query"
 )
 
@@ -45,6 +46,10 @@ type GroupingWizard struct {
 	// Parallel > 1 races that many partitions of each retrieval's
 	// candidate space under the timeout (deterministic results).
 	Parallel int
+	// Obs, when non-nil, mirrors the per-SK stats onto its registry
+	// (muse_museg_*), threads through to the chase and query engines,
+	// and records "museg.*" spans. Nil disables all of it.
+	Obs *obs.Obs
 	// Stats accumulates per-grouping-function effort.
 	Stats Stats
 }
@@ -55,9 +60,26 @@ type GroupingWizard struct {
 // returned value (the store itself is concurrency-safe).
 func (w *GroupingWizard) retrieval() query.Options {
 	if w.Real != nil && (w.Store == nil || w.Store.Instance() != w.Real) {
-		w.Store = query.NewIndexStore(w.Real)
+		w.Store = query.NewIndexStore(w.Real).Observe(w.Obs.Registry())
 	}
-	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel}
+	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel, Obs: w.Obs}
+}
+
+// recordSK appends one grouping function's record and mirrors its
+// aggregates onto the registry.
+func (w *GroupingWizard) recordSK(stats SKStats) {
+	w.Stats.SKs = append(w.Stats.SKs, stats)
+	if w.Obs == nil {
+		return
+	}
+	r := w.Obs.Reg
+	r.Counter(obs.MMuseGSKs).Inc()
+	r.Counter(obs.MMuseGQuestions).Add(int64(stats.Questions))
+	r.Counter(obs.MMuseGRealExamples).Add(int64(stats.RealExamples))
+	r.Counter(obs.MMuseGSyntheticExamples).Add(int64(stats.SyntheticExamples))
+	r.Counter(obs.MMuseGExampleTuples).Add(int64(stats.ExampleTuples))
+	r.Counter(obs.MMuseGExampleNanos).Add(int64(stats.ExampleTime))
+	r.Counter(obs.MMuseGChaseNanos).Add(int64(stats.ChaseTime))
 }
 
 // NewGroupingWizard constructs a wizard with the given constraints and
@@ -113,6 +135,10 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 	}
 	poss := m.Poss()
 	stats := SKStats{Mapping: m.Name, SK: fn, PossSize: len(poss)}
+	sp := w.Obs.Start(obs.SpanMuseGSK)
+	defer func() {
+		sp.Attr("mapping", m.Name).Attr("sk", fn).Attr("questions", stats.Questions).End()
+	}()
 	imps := tableauImplications(m, w.SrcDeps)
 	keyAttrs, rest := keyCovered(m, w.SrcDeps)
 
@@ -130,7 +156,7 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 		}
 		if ans == 1 {
 			stats.Result = keyAttrs
-			w.Stats.SKs = append(w.Stats.SKs, stats)
+			w.recordSK(stats)
 			return m.WithSK(fn, keyAttrs), nil
 		}
 		// Restrict to non-key attributes; key attributes stay distinct
@@ -193,7 +219,7 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 	}
 
 	stats.Result = confirmed
-	w.Stats.SKs = append(w.Stats.SKs, stats)
+	w.recordSK(stats)
 	return m.WithSK(fn, confirmed), nil
 }
 
@@ -217,14 +243,18 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 	if err != nil {
 		return 0, false, err
 	}
-	s1, err := chase.Chase(ie, d1)
+	sp := w.Obs.Start(obs.SpanMuseGProbe)
+	defer sp.End()
+	chaseStart := time.Now()
+	s1, err := chase.ChaseObs(ie, w.Obs, d1)
 	if err != nil {
 		return 0, false, err
 	}
-	s2, err := chase.Chase(ie, d2)
+	s2, err := chase.ChaseObs(ie, w.Obs, d2)
 	if err != nil {
 		return 0, false, err
 	}
+	stats.ChaseTime += time.Since(chaseStart)
 	if homo.Isomorphic(s1, s2) {
 		if real {
 			// The real example is too coincidental to differentiate the
@@ -233,7 +263,9 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 			real = false
 			stats.RealExamples--
 			stats.SyntheticExamples++
-			s1, s2 = chase.MustChase(ie, d1), chase.MustChase(ie, d2)
+			chaseStart = time.Now()
+			s1, s2 = chase.MustChaseObs(ie, w.Obs, d1), chase.MustChaseObs(ie, w.Obs, d2)
+			stats.ChaseTime += time.Since(chaseStart)
 		}
 		if homo.Isomorphic(s1, s2) {
 			return 0, true, nil
@@ -267,6 +299,7 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 		return 0, false, fmt.Errorf("core: designer answered %d, want 1 or 2", ans)
 	}
 	stats.Questions++
+	sp.Attr("probe", probe.String()).Attr("real", real).Attr("answer", ans)
 	return ans, false, nil
 }
 
@@ -287,14 +320,16 @@ func (w *GroupingWizard) askKeyGrouping(m *mapping.Mapping, fn string, keyAttrs,
 	if err != nil {
 		return 0, err
 	}
-	s1, err := chase.Chase(ie, d1)
+	chaseStart := time.Now()
+	s1, err := chase.ChaseObs(ie, w.Obs, d1)
 	if err != nil {
 		return 0, err
 	}
-	s2, err := chase.Chase(ie, d2)
+	s2, err := chase.ChaseObs(ie, w.Obs, d2)
 	if err != nil {
 		return 0, err
 	}
+	stats.ChaseTime += time.Since(chaseStart)
 	q := &GroupingQuestion{
 		Kind: QuestionKeyGrouping, Mapping: m, SK: fn,
 		Source: ie, Real: real, Scenario1: s1, Scenario2: s2,
@@ -397,10 +432,13 @@ func (w *GroupingWizard) obtainExampleCached(tb *tableau, fn string, confirmed [
 			stats.ExampleTime += time.Since(start)
 			if entry.ie != nil {
 				stats.RealExamples++
+				stats.ExampleTuples += entry.ie.TupleCount()
 				return entry.ie, true, nil
 			}
 			stats.SyntheticExamples++
-			return tb.synthetic(), false, nil
+			ie := tb.synthetic()
+			stats.ExampleTuples += ie.TupleCount()
+			return ie, false, nil
 		}
 	}
 	return w.obtainExample(tb, []mapping.Expr{probe}, stats)
@@ -416,11 +454,15 @@ func (w *GroupingWizard) obtainExample(tb *tableau, differ []mapping.Expr, stats
 		match, ok, _ := q.FirstOpts(w.Real, w.retrieval())
 		if ok {
 			stats.RealExamples++
-			return tb.fromMatch(match, w.Real), true, nil
+			ie := tb.fromMatch(match, w.Real)
+			stats.ExampleTuples += ie.TupleCount()
+			return ie, true, nil
 		}
 	}
 	stats.SyntheticExamples++
-	return tb.synthetic(), false, nil
+	ie := tb.synthetic()
+	stats.ExampleTuples += ie.TupleCount()
+	return ie, false, nil
 }
 
 // dataImplied reports whether, on the real instance, the probed

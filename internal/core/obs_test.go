@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"testing"
+
+	"muse/internal/core"
+	"muse/internal/designer"
+	"muse/internal/obs"
+	"muse/internal/parser"
+	"muse/internal/query"
+	"muse/internal/scenarios"
+)
+
+// TestMuseGObsCounters runs a full grouping design with an Obs bundle
+// attached and checks the registry mirrors the wizard's own stats —
+// and that instrumentation does not change the designed mapping.
+func TestMuseGObsCounters(t *testing.T) {
+	design := func(o *obs.Obs) (*core.GroupingWizard, string) {
+		fig := scenarios.NewFigure1(true)
+		w := core.NewGroupingWizard(fig.SrcDeps, fig.Source)
+		w.Obs = o
+		oracle, err := designer.StrategyOracle(designer.G1, fig.M2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := w.DesignMapping(fig.M2, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, parser.FormatMapping(out)
+	}
+
+	o := obs.New()
+	w, instrumented := design(o)
+	_, plain := design(nil)
+	if instrumented != plain {
+		t.Error("instrumented design produced a different mapping than the nil-obs design")
+	}
+
+	reg := o.Reg
+	if got, want := reg.Get(obs.MMuseGQuestions), int64(w.Stats.TotalQuestions()); got != want {
+		t.Errorf("questions counter = %d, want %d (wizard stats)", got, want)
+	}
+	if got, want := reg.Get(obs.MMuseGSKs), int64(len(w.Stats.SKs)); got != want {
+		t.Errorf("sks counter = %d, want %d", got, want)
+	}
+	var real, synth, tuples int64
+	for _, sk := range w.Stats.SKs {
+		real += int64(sk.RealExamples)
+		synth += int64(sk.SyntheticExamples)
+		tuples += int64(sk.ExampleTuples)
+	}
+	if got := reg.Get(obs.MMuseGRealExamples); got != real {
+		t.Errorf("real examples counter = %d, want %d", got, real)
+	}
+	if got := reg.Get(obs.MMuseGSyntheticExamples); got != synth {
+		t.Errorf("synthetic examples counter = %d, want %d", got, synth)
+	}
+	if got := reg.Get(obs.MMuseGExampleTuples); got != tuples {
+		t.Errorf("example tuples counter = %d, want %d", got, tuples)
+	}
+	if tuples == 0 {
+		t.Error("no example tuples recorded; expected the probes to build examples")
+	}
+	// The wizard's probes run through the planner and the shared store,
+	// so their counters must have moved too.
+	if reg.Get(obs.MQueryEvals) == 0 {
+		t.Error("no query evals recorded")
+	}
+	if reg.Get(obs.MIndexProbes) == 0 {
+		t.Error("no index probes recorded")
+	}
+	if reg.Get(obs.MChaseRuns) == 0 {
+		t.Error("no chase runs recorded (scenario chases should be instrumented)")
+	}
+	if o.Tr.Count() == 0 {
+		t.Error("no spans recorded")
+	}
+}
+
+// TestQueryEvalNilObsIdentical checks Eval's nil-obs path returns the
+// same matches as the instrumented one.
+func TestQueryEvalNilObsIdentical(t *testing.T) {
+	fig := scenarios.NewFigure1(true)
+	q := &query.Query{
+		Src: fig.Src,
+		Atoms: []query.Atom{
+			{Var: "c", Set: []string{"Companies"}, Bind: map[string]string{"cid": "x"}},
+			{Var: "p", Set: []string{"Projects"}, Bind: map[string]string{"cid": "x", "manager": "m"}},
+			{Var: "e", Set: []string{"Employees"}, Bind: map[string]string{"eid": "m"}},
+		},
+	}
+	plain, err := q.Eval(fig.Source, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	instrumented, err := q.Eval(fig.Source, query.Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(instrumented) {
+		t.Fatalf("instrumented Eval returned %d matches, nil-obs returned %d", len(instrumented), len(plain))
+	}
+	if got, want := o.Reg.Get(obs.MQueryRowsReturned), int64(len(plain)); got != want {
+		t.Errorf("rows returned counter = %d, want %d", got, want)
+	}
+	if o.Reg.Get(obs.MQueryRowsScanned) < int64(len(plain)) {
+		t.Errorf("rows scanned (%d) < rows returned (%d)", o.Reg.Get(obs.MQueryRowsScanned), len(plain))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"muse/internal/deps"
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/obs"
 	"muse/internal/query"
 )
 
@@ -29,6 +30,19 @@ func NewSession(srcDeps *deps.Set, real *instance.Instance) *Session {
 		store := query.NewIndexStore(real)
 		s.Grouping.Store = store
 		s.Disambiguation.Store = store
+	}
+	return s
+}
+
+// Observe attaches the observability bundle to both wizards and
+// mirrors the shared index store's counters onto its registry. Call
+// it before running the session; a nil o leaves the session
+// uninstrumented. Returns the session for chaining.
+func (s *Session) Observe(o *obs.Obs) *Session {
+	s.Grouping.Obs = o
+	s.Disambiguation.Obs = o
+	if s.Grouping.Store != nil {
+		s.Grouping.Store.Observe(o.Registry())
 	}
 	return s
 }

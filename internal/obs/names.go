@@ -1,0 +1,67 @@
+package obs
+
+// Metric names. One flat namespace, `muse_` prefixed, `_total` suffix
+// on counters (Prometheus conventions). DESIGN.md §8 documents what
+// each one measures; keep the two lists in sync.
+const (
+	// chase engine
+	MChaseRuns        = "muse_chase_runs_total"        // Chase invocations
+	MChaseAssignments = "muse_chase_assignments_total" // satisfying for-clause assignments
+	MChaseTuples      = "muse_chase_tuples_total"      // target tuples emitted (pre-dedup)
+	MChaseNulls       = "muse_chase_nulls_total"       // labeled nulls minted
+	MChaseSetIDs      = "muse_chase_setids_total"      // SetID Skolem terms minted
+	GChaseWorkers     = "muse_chase_workers"           // workers used by the last parallel chase
+
+	// query engine / planner
+	MQueryEvals        = "muse_query_evals_total"         // Eval calls
+	MQueryAtomsCosted  = "muse_query_atoms_costed_total"  // atomCost invocations while planning
+	MQueryRowsScanned  = "muse_query_rows_scanned_total"  // candidate tuples considered
+	MQueryRowsReturned = "muse_query_rows_returned_total" // matches returned
+	HQueryEvalSeconds  = "muse_query_eval_seconds"        // Eval latency histogram
+
+	// planner tier choice, one counter per access tier
+	MPlanTierPinnedComposite = "muse_plan_tier_pinned_composite_total"
+	MPlanTierBoundComposite  = "muse_plan_tier_bound_composite_total"
+	MPlanTierBoundSingle     = "muse_plan_tier_bound_single_total"
+	MPlanTierScan            = "muse_plan_tier_scan_total"
+	MPlanTierNested          = "muse_plan_tier_nested_total"
+	MPlanTierNaive           = "muse_plan_tier_naive_total"
+
+	// shared index store
+	MIndexBuilds     = "muse_index_builds_total"      // distinct (set, attrs) indexes materialized
+	MIndexBuildNanos = "muse_index_build_nanos_total" // wall-clock spent building indexes + stats
+	MIndexProbes     = "muse_index_probes_total"      // Index() lookups served
+	MIndexHits       = "muse_index_cache_hits_total"  // lookups answered by an existing entry
+
+	// Muse-G (grouping wizard)
+	MMuseGSKs               = "muse_museg_sks_designed_total"
+	MMuseGQuestions         = "muse_museg_questions_total"
+	MMuseGRealExamples      = "muse_museg_real_examples_total"
+	MMuseGSyntheticExamples = "muse_museg_synthetic_examples_total"
+	MMuseGExampleTuples     = "muse_museg_example_tuples_total"
+	MMuseGExampleNanos      = "muse_museg_example_nanos_total" // example construction/retrieval
+	MMuseGChaseNanos        = "muse_museg_chase_nanos_total"   // chasing the two scenarios per question
+
+	// Muse-D (disambiguation wizard)
+	MMuseDQuestions         = "muse_mused_questions_total"
+	MMuseDAlternatives      = "muse_mused_alternatives_total"
+	MMuseDRealExamples      = "muse_mused_real_examples_total"
+	MMuseDSyntheticExamples = "muse_mused_synthetic_examples_total"
+	MMuseDSourceTuples      = "muse_mused_source_tuples_total"
+
+	// mapping generation (cmd/musegen)
+	MGenMappings  = "muse_gen_mappings_total"
+	MGenAmbiguous = "muse_gen_ambiguous_total"
+)
+
+// Span names. Dotted `component.operation` scheme; attributes are
+// lower_snake_case.
+const (
+	SpanChase        = "chase"              // one Chase call: mappings, workers
+	SpanChaseMapping = "chase.mapping"      // one mapping's chase: mapping, assignments, tuples, nulls
+	SpanQueryEval    = "query.eval"         // one Eval: atoms, matches, scanned
+	SpanMuseGSK      = "museg.design_sk"    // one grouping function: mapping, sk, questions
+	SpanMuseGProbe   = "museg.probe"        // one probe question: probe, real, answer
+	SpanMuseD        = "mused.disambiguate" // one Muse-D question: mapping, alternatives, real
+	SpanGen          = "gen.generate"       // one mapping-generation run
+)

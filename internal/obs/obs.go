@@ -1,0 +1,362 @@
+// Package obs is the dependency-free observability substrate of the
+// Muse reproduction: a registry of named atomic counters, gauges and
+// histograms with a Prometheus-style text exposition, and a
+// lightweight span tracer (trace.go) with a bounded in-memory ring of
+// finished spans and an optional JSONL event sink.
+//
+// Everything is nil-safe: calling any method on a nil *Registry, nil
+// *Tracer, nil *Obs, nil *Counter, nil *Gauge, nil *Histogram or nil
+// *Span is a no-op (or returns a zero value), so instrumented hot
+// paths pay exactly one branch when observability is disabled. The
+// instrumented packages (chase, query, core) rely on this: they never
+// check for nil before emitting.
+//
+// Metric and span names live in names.go; DESIGN.md §8 is the
+// human-readable catalog.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil Counter
+// discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil Gauge discards
+// all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value (0 on the nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefSecondsBounds is the default histogram bucketing: exponential
+// upper bounds in seconds, one microsecond to ten seconds.
+var DefSecondsBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Histogram accumulates observations into fixed buckets (cumulative
+// counts are computed at snapshot time). The nil Histogram discards
+// all observations.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Kind distinguishes metric types in a Snapshot.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Metric is one entry of a Snapshot.
+type Metric struct {
+	Name string
+	Kind Kind
+	// Value is the counter/gauge value.
+	Value int64
+	// Count, Sum and Buckets describe a histogram; Buckets aligns with
+	// Bounds and holds per-bucket (non-cumulative) counts, with one
+	// final overflow bucket (+Inf).
+	Count   int64
+	Sum     float64
+	Bounds  []float64
+	Buckets []int64
+}
+
+// Registry is a process-local set of named metrics. All methods are
+// safe for concurrent use, and all methods on the nil Registry are
+// no-ops returning nil handles (which are themselves no-ops), so a
+// disabled registry costs one branch per metric touch.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on the nil Registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (DefSecondsBounds when none are
+// given). Bounds are fixed by the first caller.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		bs := bounds
+		if len(bs) == 0 {
+			bs = DefSecondsBounds
+		}
+		bs = append([]float64(nil), bs...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Get returns the value of the named counter or gauge (counters win on
+// a name clash), or 0 when the metric does not exist. Convenience for
+// tests and snapshot assertions.
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c, g := r.counters[name], r.gauges[name]
+	r.mu.Unlock()
+	if c != nil {
+		return c.Value()
+	}
+	return g.Value()
+}
+
+// Snapshot returns every metric, sorted by name. Counter and gauge
+// values are individually atomic; the snapshot as a whole is not a
+// consistent cut across metrics (concurrent updates may land between
+// reads), which is fine for the monotonic counters it reports.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		m := Metric{
+			Name: name, Kind: KindHistogram,
+			Count:   h.count.Load(),
+			Sum:     math.Float64frombits(h.sumBits.Load()),
+			Bounds:  h.bounds,
+			Buckets: make([]int64, len(h.buckets)),
+		}
+		for i := range h.buckets {
+			m.Buckets[i] = h.buckets[i].Load()
+		}
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText dumps the registry in the Prometheus text exposition
+// style: a `# TYPE` line per metric, cumulative `_bucket{le="..."}`
+// lines plus `_sum`/`_count` for histograms. A nil Registry writes
+// nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.Name, m.Kind, m.Name, m.Value); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.Name); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i, b := range m.Bounds {
+				cum += m.Buckets[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, formatBound(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.Buckets[len(m.Buckets)-1]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+				m.Name, cum, m.Name, m.Sum, m.Name, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// Obs bundles a Registry and a Tracer; the wizards, the chase engine
+// and the query engine each accept one. The nil *Obs (and the zero
+// value) disable all instrumentation at the cost of one branch per
+// touch point.
+type Obs struct {
+	Reg *Registry
+	Tr  *Tracer
+}
+
+// New returns an Obs with a fresh registry and a tracer with the
+// default ring capacity.
+func New() *Obs {
+	return &Obs{Reg: NewRegistry(), Tr: NewTracer(DefaultRingSize)}
+}
+
+// Registry returns the bundled registry (nil on the nil Obs).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Counter returns the named counter from the bundled registry.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Gauge returns the named gauge from the bundled registry.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name)
+}
+
+// Histogram returns the named histogram from the bundled registry.
+func (o *Obs) Histogram(name string, bounds ...float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name, bounds...)
+}
+
+// Start opens a span on the bundled tracer (a nil no-op span on the
+// nil Obs).
+func (o *Obs) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tr.Start(name)
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultRingSize is the finished-span ring capacity used by New.
+const DefaultRingSize = 256
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// SpanRecord is a finished span as kept in the tracer's ring.
+type SpanRecord struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Tracer records spans into a bounded in-memory ring (oldest entries
+// are overwritten) and, when a sink is set, streams each finished span
+// as one JSON line. All methods on the nil Tracer are no-ops.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total int64
+	sink  io.Writer
+}
+
+// NewTracer returns a tracer keeping the last ringSize finished spans
+// (DefaultRingSize when ringSize <= 0).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, ringSize)}
+}
+
+// SetSink directs finished spans to w as JSONL, one object per span:
+//
+//	{"name":"chase.mapping","start":"...","dur_ns":1234,"attrs":{...}}
+//
+// Writes are serialized by the tracer. Call before spans are started;
+// a nil w disables the sink.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = w
+	t.mu.Unlock()
+}
+
+// Start opens a span. The returned span is owned by one goroutine
+// until End. A nil Tracer returns a nil (no-op) span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Count returns the total number of spans finished so far (including
+// those already overwritten in the ring).
+func (t *Tracer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Finished returns the spans currently in the ring, oldest first.
+func (t *Tracer) Finished() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Span is one in-flight operation. All methods on the nil Span are
+// no-ops, so `defer tr.Start("x").End()` is safe with a nil tracer.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// Attr annotates the span and returns it for chaining.
+func (s *Span) Attr(key string, val any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	return s
+}
+
+// Dur returns the time elapsed since the span started (0 on nil).
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// End finishes the span: it is recorded in the tracer's ring and, when
+// a sink is configured, emitted as one JSON line.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{Name: s.name, Start: s.start, Dur: time.Since(s.start), Attrs: s.attrs}
+	t := s.t
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	sink := t.sink
+	if sink != nil {
+		line := marshalSpan(rec)
+		sink.Write(line) // best-effort: a failing sink must not fail the traced operation
+	}
+	t.mu.Unlock()
+}
+
+// marshalSpan renders one JSONL line for a finished span.
+func marshalSpan(rec SpanRecord) []byte {
+	obj := spanJSON{
+		Name:  rec.Name,
+		Start: rec.Start.Format(time.RFC3339Nano),
+		DurNS: rec.Dur.Nanoseconds(),
+	}
+	if len(rec.Attrs) > 0 {
+		obj.Attrs = make(map[string]any, len(rec.Attrs))
+		for _, a := range rec.Attrs {
+			obj.Attrs[a.Key] = a.Val
+		}
+	}
+	b, err := json.Marshal(obj)
+	if err != nil {
+		// Unmarshalable attr values degrade to the span envelope alone.
+		b, _ = json.Marshal(spanJSON{Name: obj.Name, Start: obj.Start, DurNS: obj.DurNS})
+	}
+	return append(b, '\n')
+}
+
+type spanJSON struct {
+	Name  string         `json:"name"`
+	Start string         `json:"start"`
+	DurNS int64          `json:"dur_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}

@@ -1,0 +1,76 @@
+package query_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/instance"
+	"muse/internal/query"
+	"muse/internal/scenarios"
+)
+
+// TestExplainGolden pins Plan.Explain on the Fig. 1 scenario: a
+// three-way join over the source (pinned-composite, bound-single and
+// scan tiers) and a parent-bound query over the chased target (nested
+// tier). The planner is deterministic, so the rendering is too.
+func TestExplainGolden(t *testing.T) {
+	fig := scenarios.NewFigure1(true)
+
+	q1 := &query.Query{
+		Src: fig.Src,
+		Atoms: []query.Atom{
+			{Var: "c", Set: []string{"Companies"},
+				Bind: map[string]string{"cid": "x", "cname": "n"},
+				Pin: map[string]instance.Value{
+					"cname":    instance.C("IBM"),
+					"location": instance.C("Almaden"),
+				}},
+			{Var: "p", Set: []string{"Projects"},
+				Bind: map[string]string{"cid": "x", "pname": "pn", "manager": "mg"}},
+			{Var: "e", Set: []string{"Employees"},
+				Bind: map[string]string{"eid": "mg", "ename": "en"}},
+			{Var: "c2", Set: []string{"Companies"}},
+		},
+		Neq: [][2]string{{"pn", "en"}},
+	}
+	p1, err := q1.PlanWith(query.NewIndexStore(fig.Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tgt, err := chase.Chase(fig.Source, fig.M1, fig.M2, fig.M3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := &query.Query{
+		Src: fig.Tgt,
+		Atoms: []query.Atom{
+			{Var: "o", Set: []string{"Orgs"}, Bind: map[string]string{"oname": "on"}},
+			{Var: "pr", Parent: "o", Field: "Projects",
+				Bind: map[string]string{"pname": "pn"}},
+		},
+	}
+	p2, err := q2.PlanWith(query.NewIndexStore(tgt))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := "-- three-way join over CompDB --\n" + p1.Explain() +
+		"-- nested Projects over the chased OrgDB --\n" + p2.Explain()
+
+	golden := filepath.Join("testdata", "explain_fig1.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to record)", err)
+	}
+	if got != string(want) {
+		t.Errorf("Explain drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

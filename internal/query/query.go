@@ -21,6 +21,7 @@ import (
 
 	"muse/internal/instance"
 	"muse/internal/nr"
+	"muse/internal/obs"
 )
 
 // Atom is one tuple pattern of a query: it binds tuple variable Var to
@@ -75,6 +76,10 @@ type Options struct {
 	// given order by scanning. It is the reference semantics the
 	// planned evaluator is tested against.
 	Naive bool
+	// Obs, when non-nil, records planner and evaluation metrics
+	// (atoms costed, tier choices, rows scanned vs. returned) and one
+	// "query.eval" span per Eval. Nil costs one branch per Eval.
+	Obs *obs.Obs
 }
 
 // ErrTimeout is returned when evaluation exceeds Options.Timeout.
@@ -137,7 +142,21 @@ func (q *Query) Eval(in *instance.Instance, opt Options) ([]Match, error) {
 	if store == nil || store.Instance() != in {
 		store = NewIndexStore(in)
 	}
+	o := opt.Obs
+	var evalStart time.Time
+	var sp *obs.Span
+	if o != nil {
+		evalStart = time.Now()
+		sp = o.Start(obs.SpanQueryEval)
+	}
 	p := q.plan(store, opt.Naive)
+	if o != nil {
+		o.Counter(obs.MQueryEvals).Inc()
+		o.Counter(obs.MQueryAtomsCosted).Add(int64(p.costed))
+		for i := range p.plans {
+			o.Counter(tierCounters[p.plans[i].tier]).Inc()
+		}
+	}
 	// Resolve each position's index once per evaluation: candidates()
 	// then probes a plain map, paying no per-probe key rendering or
 	// store lock.
@@ -168,6 +187,12 @@ func (q *Query) Eval(in *instance.Instance, opt Options) ([]Match, error) {
 			orig[p.back[pos]] = t
 		}
 		e.out[mi].Tuples = orig
+	}
+	if o != nil {
+		o.Counter(obs.MQueryRowsScanned).Add(e.scanned)
+		o.Counter(obs.MQueryRowsReturned).Add(int64(len(e.out)))
+		o.Histogram(obs.HQueryEvalSeconds).Observe(time.Since(evalStart).Seconds())
+		sp.Attr("atoms", len(q.Atoms)).Attr("matches", len(e.out)).Attr("scanned", e.scanned).End()
 	}
 	return e.out, err
 }
@@ -213,14 +238,50 @@ type atomPlan struct {
 	// checkAllNeq re-checks every bound pair on every bind (naive
 	// reference mode).
 	checkAllNeq bool
+	// tier is the chosen access tier (tier* constants) and cost the
+	// planner's candidate-set estimate at placement time; both feed
+	// Plan.Explain and the muse_plan_tier_* counters.
+	tier int8
+	cost float64
+}
+
+// Access-tier labels, in preference order (Explain and the
+// muse_plan_tier_* counters index by them).
+const (
+	tierPinnedComposite = iota
+	tierBoundComposite
+	tierBoundSingle
+	tierScan
+	tierNested
+	tierNaive
+)
+
+var tierNames = [...]string{
+	tierPinnedComposite: "pinned-composite",
+	tierBoundComposite:  "bound-composite",
+	tierBoundSingle:     "bound-single",
+	tierScan:            "scan",
+	tierNested:          "nested",
+	tierNaive:           "naive-scan",
+}
+
+var tierCounters = [...]string{
+	tierPinnedComposite: obs.MPlanTierPinnedComposite,
+	tierBoundComposite:  obs.MPlanTierBoundComposite,
+	tierBoundSingle:     obs.MPlanTierBoundSingle,
+	tierScan:            obs.MPlanTierScan,
+	tierNested:          obs.MPlanTierNested,
+	tierNaive:           obs.MPlanTierNaive,
 }
 
 // planned is the output of the planner: the reordered query, the
-// original-position map, and the per-position access plans.
+// original-position map, the per-position access plans, and the
+// planning effort (atoms costed) for the metrics.
 type planned struct {
-	q     *Query
-	back  []int
-	plans []atomPlan
+	q      *Query
+	back   []int
+	plans  []atomPlan
+	costed int
 }
 
 // resolveTypes maps each atom (in original order) to its set type.
@@ -268,7 +329,7 @@ func (q *Query) plan(store *IndexStore, naive bool) planned {
 			if q.Atoms[i].Parent != "" {
 				pp = pos[q.Atoms[i].Parent]
 			}
-			p.plans[i] = atomPlan{st: types[i], parentPos: pp, checkAllNeq: true}
+			p.plans[i] = atomPlan{st: types[i], parentPos: pp, checkAllNeq: true, tier: tierNaive}
 		}
 		return p
 	}
@@ -278,6 +339,7 @@ func (q *Query) plan(store *IndexStore, naive bool) planned {
 	placedPos := make(map[string]int)
 	order := make([]int, 0, n)
 	plans := make([]atomPlan, 0, n)
+	costed := 0
 	for len(order) < n {
 		best, bestTier := -1, 0
 		var bestCost float64
@@ -288,6 +350,7 @@ func (q *Query) plan(store *IndexStore, naive bool) planned {
 				continue
 			}
 			cost, tier, attrs := atomCost(a, types[i], boundVars, store)
+			costed++
 			if best < 0 || cost < bestCost || (cost == bestCost && tier < bestTier) {
 				best, bestCost, bestTier, bestAttrs = i, cost, tier, attrs
 			}
@@ -305,7 +368,10 @@ func (q *Query) plan(store *IndexStore, naive bool) planned {
 		if a.Parent != "" {
 			pp = placedPos[a.Parent]
 		}
-		plans = append(plans, atomPlan{st: types[best], parentPos: pp, idxAttrs: bestAttrs})
+		plans = append(plans, atomPlan{
+			st: types[best], parentPos: pp, idxAttrs: bestAttrs,
+			tier: tierLabel(a, bestTier, bestAttrs), cost: bestCost,
+		})
 		order = append(order, best)
 	}
 
@@ -317,7 +383,24 @@ func (q *Query) plan(store *IndexStore, naive bool) planned {
 	}
 	ordered := &Query{Src: q.Src, Atoms: atoms, Neq: q.Neq}
 	pushDownNeq(ordered, plans)
-	return planned{q: ordered, back: back, plans: plans}
+	return planned{q: ordered, back: back, plans: plans, costed: costed}
+}
+
+// tierLabel maps an atom's cost tier (atomCost's ordering value) to
+// the access-tier label recorded on its plan.
+func tierLabel(a Atom, costTier int, attrs []string) int8 {
+	switch {
+	case a.Parent != "":
+		return tierNested
+	case len(attrs) == 0:
+		return tierScan
+	case costTier == 0:
+		return tierPinnedComposite
+	case costTier == 1:
+		return tierBoundComposite
+	default:
+		return tierBoundSingle
+	}
 }
 
 func has(m map[string]int, k string) bool { _, ok := m[k]; return ok }
@@ -424,6 +507,9 @@ type evalState struct {
 	deadline time.Time
 	steps    int
 	keyBuf   []byte
+	// scanned counts candidate tuples considered across the whole
+	// search (feeds muse_query_rows_scanned_total).
+	scanned int64
 	// boundStack records value variables in binding order; unbindTo
 	// truncates it to a mark, so backtracking allocates nothing.
 	boundStack []string
@@ -460,7 +546,9 @@ func (e *evalState) search(i int) error {
 		return nil
 	}
 	a := e.q.Atoms[i]
-	for _, t := range e.candidates(i) {
+	cands := e.candidates(i)
+	e.scanned += int64(len(cands))
+	for _, t := range cands {
 		mark := len(e.boundStack)
 		if e.bindTuple(i, a, t) {
 			e.tuples[i] = t
@@ -495,6 +583,7 @@ func (e *evalState) searchParallel(workers int) error {
 	}
 	outs := make([][]Match, workers)
 	errs := make([]error, workers)
+	scans := make([]int64, workers)
 	// quotaFrom is the lowest partition index that filled the limit on
 	// its own; partitions above it stop early (their matches can never
 	// be merged).
@@ -526,9 +615,13 @@ func (e *evalState) searchParallel(workers int) error {
 				}
 			}
 			outs[w] = clone.out
+			scans[w] = clone.scanned
 		}()
 	}
 	wg.Wait()
+	for w := 0; w < workers; w++ {
+		e.scanned += scans[w]
+	}
 	for w := 0; w < workers; w++ {
 		e.out = append(e.out, outs[w]...)
 		if e.opt.Limit > 0 && len(e.out) >= e.opt.Limit {

@@ -3,11 +3,11 @@ package query
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"muse/internal/instance"
 	"muse/internal/nr"
+	"muse/internal/obs"
 )
 
 // IndexStore caches hash indexes and statistics over one source
@@ -29,10 +29,19 @@ type IndexStore struct {
 	stats   map[*nr.SetType]*statsEntry
 	keyBuf  []byte // attr-list key scratch, guarded by mu
 
-	// metrics (atomic: updated from concurrent evaluations)
-	built      atomic.Int64
-	buildNanos atomic.Int64
-	probes     atomic.Int64
+	// Metrics, guarded by mu — the same mutex the builders take — so a
+	// Metrics() snapshot is consistent with respect to completed work:
+	// a build's count and its build time become visible together, and
+	// always before any waiter returns the built index (counters are
+	// updated before the entry's done channel closes).
+	built      int64
+	buildNanos int64
+	probes     int64
+	hits       int64
+
+	// Optional registry mirror (Observe): nil handles are no-ops, so an
+	// unobserved store pays one branch per event.
+	cBuilds, cBuildNanos, cProbes, cHits *obs.Counter
 }
 
 // indexEntry is one (set, attribute list) index, built exactly once:
@@ -75,15 +84,21 @@ func (s *SetStats) AvgOccSize() float64 {
 }
 
 // StoreMetrics reports accumulated index-store effort, for the
-// musebench retrieval columns.
+// musebench retrieval columns. It is a compatibility shim over the
+// store's counters; sessions that want a live, named view should
+// Observe the store onto an obs.Registry instead.
 type StoreMetrics struct {
 	// IndexesBuilt counts distinct (set, attribute list) indexes
 	// materialized.
 	IndexesBuilt int
-	// BuildTime is the total wall-clock spent building them.
+	// BuildTime is the total wall-clock spent building them (and
+	// collecting statistics blocks).
 	BuildTime time.Duration
 	// Probes counts indexed candidate lookups served.
 	Probes int64
+	// Hits counts the probes answered by an already-materialized index
+	// (Probes - Hits is the miss/build count on the Index path).
+	Hits int64
 }
 
 // NewIndexStore creates an empty store over the instance.
@@ -98,12 +113,35 @@ func NewIndexStore(in *instance.Instance) *IndexStore {
 // Instance returns the instance the store indexes.
 func (s *IndexStore) Instance() *instance.Instance { return s.in }
 
-// Metrics returns a snapshot of the store's accumulated effort.
+// Observe mirrors the store's counters onto reg under the
+// muse_index_* names (DESIGN.md §8) and returns the store. Only
+// events after the call are mirrored; call it right after
+// NewIndexStore, before the store is shared across goroutines. A nil
+// reg is a no-op.
+func (s *IndexStore) Observe(reg *obs.Registry) *IndexStore {
+	if reg == nil {
+		return s
+	}
+	s.cBuilds = reg.Counter(obs.MIndexBuilds)
+	s.cBuildNanos = reg.Counter(obs.MIndexBuildNanos)
+	s.cProbes = reg.Counter(obs.MIndexProbes)
+	s.cHits = reg.Counter(obs.MIndexHits)
+	return s
+}
+
+// Metrics returns a snapshot of the store's accumulated effort. The
+// snapshot is taken under the builders' mutex, so it is consistent
+// with respect to completed builds: every build that any concurrent
+// Index call has already returned from is fully reflected (count and
+// build time together).
 func (s *IndexStore) Metrics() StoreMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return StoreMetrics{
-		IndexesBuilt: int(s.built.Load()),
-		BuildTime:    time.Duration(s.buildNanos.Load()),
-		Probes:       s.probes.Load(),
+		IndexesBuilt: int(s.built),
+		BuildTime:    time.Duration(s.buildNanos),
+		Probes:       s.probes,
+		Hits:         s.hits,
 	}
 }
 
@@ -123,9 +161,12 @@ func (s *IndexStore) Index(st *nr.SetType, attrs []string) map[string][]*instanc
 	s.keyBuf = buf
 	byAttrs := s.indexes[st]
 	if e, ok := byAttrs[string(buf)]; ok {
+		s.probes++
+		s.hits++
 		s.mu.Unlock()
+		s.cProbes.Inc()
+		s.cHits.Inc()
 		<-e.done
-		s.probes.Add(1)
 		return e.idx
 	}
 	if byAttrs == nil {
@@ -134,15 +175,23 @@ func (s *IndexStore) Index(st *nr.SetType, attrs []string) map[string][]*instanc
 	}
 	e := &indexEntry{done: make(chan struct{})}
 	byAttrs[string(buf)] = e
+	s.probes++
 	s.mu.Unlock()
+	s.cProbes.Inc()
 
 	start := time.Now()
 	e.idx = buildIndex(s.in.Top(st), attrs)
 	e.distinct = len(e.idx)
-	s.built.Add(1)
-	s.buildNanos.Add(int64(time.Since(start)))
+	nanos := int64(time.Since(start))
+	s.mu.Lock()
+	s.built++
+	s.buildNanos += nanos
+	s.mu.Unlock()
+	s.cBuilds.Inc()
+	s.cBuildNanos.Add(nanos)
+	// Counters first, done second: a goroutine that saw the index is
+	// guaranteed to see its build in Metrics.
 	close(e.done)
-	s.probes.Add(1)
 	return e.idx
 }
 
@@ -197,7 +246,11 @@ func (s *IndexStore) Stats(st *nr.SetType) *SetStats {
 
 	start := time.Now()
 	e.stats = collectStats(s.in, st)
-	s.buildNanos.Add(int64(time.Since(start)))
+	nanos := int64(time.Since(start))
+	s.mu.Lock()
+	s.buildNanos += nanos
+	s.mu.Unlock()
+	s.cBuildNanos.Add(nanos)
 	close(e.done)
 	return e.stats
 }

@@ -52,6 +52,7 @@ import (
 	"muse/internal/load"
 	"muse/internal/mapping"
 	"muse/internal/nr"
+	"muse/internal/obs"
 	"muse/internal/parser"
 )
 
@@ -151,6 +152,13 @@ func ChaseSerial(src *Instance, ms ...*Mapping) (*Instance, error) {
 	return chase.ChaseSerial(src, ms...)
 }
 
+// ChaseObs is Chase with observability: when o is non-nil, chase
+// counters (assignments, tuples, nulls) land in its registry and each
+// run records "chase"/"chase.mapping" spans.
+func ChaseObs(src *Instance, o *Obs, ms ...*Mapping) (*Instance, error) {
+	return chase.ChaseObs(src, o, ms...)
+}
+
 // IsSolution reports whether tgt is a solution for src under the
 // mappings.
 func IsSolution(src, tgt *Instance, ms ...*Mapping) (bool, error) {
@@ -233,6 +241,25 @@ func NewDisambiguationWizard(src *Constraints, real *Instance) *DisambiguationWi
 func NewSession(src *Constraints, real *Instance) *Session {
 	return core.NewSession(src, real)
 }
+
+// --- observability ---
+
+type (
+	// Obs bundles a metrics Registry and a span Tracer; the chase, the
+	// query engine and both wizards accept one. A nil *Obs disables all
+	// instrumentation at the cost of one branch per touch point.
+	Obs = obs.Obs
+	// Registry holds named atomic counters, gauges and histograms with
+	// a Prometheus-style text exposition (WriteText).
+	Registry = obs.Registry
+	// Tracer records lightweight spans into a bounded ring and an
+	// optional JSONL sink.
+	Tracer = obs.Tracer
+)
+
+// NewObs returns an Obs with a fresh registry and a tracer with the
+// default ring capacity.
+func NewObs() *Obs { return obs.New() }
 
 // --- scripted designers (oracles) ---
 
