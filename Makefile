@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke bench-guard bench
+.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke server-smoke bench-guard bench
 
-ci: vet build race race-retrieval bench-smoke obs-smoke
+ci: vet build race race-retrieval bench-smoke obs-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,28 @@ obs-smoke:
 	grep -q '^muse_chase_tuples_total [1-9]' $$tmp/metrics.txt && \
 	grep -q '"name":"chase"' $$tmp/trace.jsonl && \
 	echo "obs-smoke: metrics and trace OK"; st=$$?; rm -rf $$tmp; exit $$st
+
+# End-to-end server check: boot musesrv on an ephemeral port, run the
+# docs/API.md curl walkthrough (a full Muse-G session on the Fig. 1
+# scenario), assert the session counters surfaced on /metrics, then
+# SIGTERM the server and require a clean (exit 0) graceful shutdown.
+server-smoke:
+	@tmp=$$(mktemp -d); st=1; \
+	$(GO) build -o $$tmp/musesrv ./cmd/musesrv && \
+	$$tmp/musesrv -addr 127.0.0.1:0 -addr-file $$tmp/addr & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		base="http://$$(cat $$tmp/addr)"; \
+		bash docs/walkthrough.sh "$$base" && \
+		curl -fsS "$$base/metrics" | grep -q '^muse_server_sessions_started_total 1' && \
+		curl -fsS "$$base/metrics" | grep -q '^muse_server_sessions_finished_total 1' && \
+		curl -fsS "$$base/metrics" | grep -q '^muse_server_answers_total 11' && \
+		kill -TERM $$pid && wait $$pid && st=$$? && \
+		echo "server-smoke: session, metrics and graceful shutdown OK"; \
+	else \
+		echo "server-smoke: server did not come up"; kill $$pid 2>/dev/null; \
+	fi; \
+	rm -rf $$tmp; exit $$st
 
 # Instrumentation-overhead guard: with obs disabled, chase and warm
 # retrieval allocs/op must stay within the recorded seed baselines

@@ -15,6 +15,7 @@
 // number of distinct hash indexes the session's shared index store
 // materialized (each built at most once per run), and "idx build" is
 // the total wall-clock spent building them.
+//
 //	musebench -cpuprofile cpu.out     # write a pprof CPU profile
 //	musebench -memprofile mem.out     # write a pprof heap profile
 package main

@@ -1,0 +1,109 @@
+// Command musesrv serves Muse wizard sessions over HTTP/JSON: many
+// designers refine mappings concurrently, each through the
+// question/answer dialog of the Muse-G and Muse-D wizards, driven by
+// any HTTP client (docs/API.md has the full reference and a curl
+// walkthrough).
+//
+// Usage:
+//
+//	musesrv [-addr :8080] [-max-sessions 64] [-session-ttl 30m]
+//	        [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
+//
+// With no -doc the server offers the built-in paper scenarios "fig1"
+// and "fig4". A -doc flag adds the document's mapping set as a
+// scenario named by -name (default "doc").
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests drain (bounded by -shutdown-timeout), then every live
+// session is closed. -addr-file writes the bound address (useful with
+// ":0" for tests and CI).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"muse"
+	"muse/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address (\":0\" picks an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions (idle LRU sessions are evicted past it)")
+	sessionTTL := flag.Duration("session-ttl", server.DefaultTTL, "idle session lifetime (0 disables expiry)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	docPath := flag.String("doc", "", "Muse document to serve as a scenario (optional)")
+	src := flag.String("src", "", "source schema name (with -doc)")
+	tgt := flag.String("tgt", "", "target schema name (with -doc)")
+	inst := flag.String("instance", "", "source instance to draw examples from (with -doc, optional)")
+	name := flag.String("name", "doc", "scenario name for the -doc mapping set")
+	flag.Parse()
+
+	scenarios := server.Builtin()
+	if *docPath != "" {
+		if *src == "" || *tgt == "" {
+			log.Fatal("-doc requires -src and -tgt")
+		}
+		text, err := os.ReadFile(*docPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, err := muse.Parse(string(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := server.FromDocument(doc, *src, *tgt, *inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios[*name] = sc
+	}
+
+	o := muse.NewObs()
+	mg := server.NewManager(scenarios, o)
+	mg.MaxSessions = *maxSessions
+	mg.TTL = *sessionTTL
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("musesrv listening on %s (%d scenario(s))", ln.Addr(), len(scenarios))
+
+	hs := &http.Server{Handler: server.New(mg)}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("musesrv: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		err := hs.Shutdown(ctx)
+		cancel()
+		mg.Close()
+		if err != nil {
+			log.Fatalf("musesrv: shutdown: %v", err)
+		}
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package muse_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -89,6 +90,45 @@ func ExampleGroupingWizard() {
 	//     Projects = SKProjects#1:
 	//       (DB)
 	//       (Web)
+}
+
+// ExampleStepper runs the same design as ExampleGroupingWizard through
+// the resumable question/answer state machine the HTTP server builds
+// on: pull the pending question with Step, push the reply with Answer.
+func ExampleStepper() {
+	doc, err := muse.Parse(exampleScenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, _ := doc.MappingSet("CompDB", "OrgDB")
+
+	ctx := context.Background()
+	st := muse.NewStepper(ctx, muse.NewSession(doc.Deps["CompDB"], doc.Instances["I"]), set)
+	defer st.Close()
+
+	step, err := st.Step(ctx)
+	for err == nil && !step.Done {
+		answer := 2
+		if step.Grouping.Probe.String() == "c.cname" {
+			answer = 1
+		}
+		fmt.Printf("q%d: %s in the grouping? scenario %d\n", step.Seq, step.Grouping.Probe, answer)
+		step, err = st.Answer(ctx, muse.Answer{Scenario: answer})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if step.Err != nil {
+		log.Fatal(step.Err)
+	}
+	fmt.Println(step.Result.ByName("m").SKFor("SKProjects").SK)
+	// Output:
+	// q1: c.cid in the grouping? scenario 2
+	// q2: c.cname in the grouping? scenario 1
+	// q3: c.location in the grouping? scenario 2
+	// q4: p.pid in the grouping? scenario 2
+	// q5: p.pname in the grouping? scenario 2
+	// SKProjects(c.cname)
 }
 
 // ExampleGenerateMappings derives mappings from correspondence arrows

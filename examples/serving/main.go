@@ -1,0 +1,131 @@
+// Serving: a wizard session over the wire.
+//
+// Boots the Muse HTTP session server in-process on an ephemeral port
+// (the same handler cmd/musesrv serves) and drives a complete Muse-G
+// dialog over it with net/http: start a session on the built-in Fig. 1
+// scenario, answer the eleven grouping questions so projects group by
+// the company name, and print the refined mappings — every o.Projects
+// assignment comes back as SKProjects(c.cname), exactly the design the
+// paper's running example wants.
+//
+// The same requests work against a standalone server
+// (go run ./cmd/musesrv -addr :8080); see docs/API.md for the wire
+// reference and the equivalent curl walkthrough.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"muse"
+)
+
+// envelope mirrors the session-addressed responses of docs/API.md.
+type envelope struct {
+	Token string `json:"token"`
+	Step  struct {
+		Seq      int    `json:"seq"`
+		State    string `json:"state"`
+		Grouping *struct {
+			Mapping   string   `json:"mapping"`
+			SK        string   `json:"sk"`
+			Probe     string   `json:"probe"`
+			Confirmed []string `json:"confirmed"`
+		} `json:"grouping"`
+		Error string `json:"error"`
+	} `json:"step"`
+}
+
+type result struct {
+	Questions int `json:"questions"`
+	Mappings  []struct {
+		Name string `json:"name"`
+		Text string `json:"text"`
+	} `json:"mappings"`
+}
+
+func call(method, url string, body, into any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: %s", method, url, resp.Status)
+	}
+	if into == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func main() {
+	// An in-process server: the handler cmd/musesrv serves, on an
+	// ephemeral port so the example never collides with a running one.
+	mg := muse.NewServerManager(muse.BuiltinScenarios(), muse.NewObs())
+	defer mg.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, muse.NewServer(mg))
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving the Muse API on %s\n\n", base)
+
+	// Start a session over the built-in Fig. 1 scenario.
+	var env envelope
+	if err := call("POST", base+"/v1/sessions", map[string]string{"scenario": "fig1"}, &env); err != nil {
+		log.Fatal(err)
+	}
+	sess := base + "/v1/sessions/" + env.Token
+
+	// The intended design groups each company's projects by the company
+	// name: answer 1 (the scenario whose grouping includes the probed
+	// attribute) when the probe is c.cname, otherwise 2. With the
+	// Companies(cid) key this is an 11-question dialog (Sec. III-B).
+	for env.Step.State == "grouping_question" {
+		q := env.Step.Grouping
+		answer := 2
+		if q.Probe == "c.cname" {
+			answer = 1
+		}
+		fmt.Printf("q%-2d %s/%s  probe=%-10s confirmed=%v -> scenario %d\n",
+			env.Step.Seq, q.Mapping, q.SK, q.Probe, q.Confirmed, answer)
+		if err := call("POST", sess+"/answer", map[string]int{"scenario": answer}, &env); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if env.Step.State != "done" {
+		log.Fatalf("dialog ended in state %q: %s", env.Step.State, env.Step.Error)
+	}
+
+	// Fetch the refined mappings and clean up.
+	var res result
+	if err := call("GET", sess+"/result", nil, &res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndesigned in %d questions:\n\n", res.Questions)
+	for _, m := range res.Mappings {
+		fmt.Println(m.Text)
+	}
+	if err := call("DELETE", sess, nil, nil); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,6 @@
+// Package bench reproduces the evaluation of Sec. VI: the scenario
+// characteristics table, the Muse-G results of Fig. 5 (per scenario ×
+// grouping strategy G1/G2/G3), and the Muse-D table. Designers are the
+// strategy oracles of internal/designer, answering exactly as the
+// paper scripts them.
+package bench

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,6 +32,24 @@ func Chase(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, 
 // on o's tracer and accumulates assignment/tuple/null counters on o's
 // registry (DESIGN.md §8). A nil o costs one branch.
 func ChaseObs(src *instance.Instance, o *obs.Obs, ms ...*mapping.Mapping) (*instance.Instance, error) {
+	return ChaseCtx(context.Background(), src, o, ms...)
+}
+
+// ChaseCtx is ChaseObs under a context: the assignment enumeration
+// checks ctx periodically (every few hundred candidate bindings) and
+// aborts with ctx.Err() once it is cancelled or past its deadline, so
+// a server's per-request deadline actually stops an in-flight chase.
+// A nil ctx means context.Background(). The partial output is
+// discarded: a cancelled chase returns (nil, ctx.Err()).
+func ChaseCtx(ctx context.Context, src *instance.Instance, o *obs.Obs, ms ...*mapping.Mapping) (*instance.Instance, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Fail fast on a dead context: the periodic in-chase checks are
+	// step-gated and may never fire on a tiny chase.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	infos, tgtCat, err := prepare(ms)
 	if err != nil {
 		return nil, err
@@ -46,7 +65,7 @@ func ChaseObs(src *instance.Instance, o *obs.Obs, ms ...*mapping.Mapping) (*inst
 	}
 	defer sp.Attr("mappings", len(ms)).Attr("workers", workers).End()
 	if workers <= 1 {
-		return chaseAll(src, ms, infos, tgtCat, o)
+		return chaseAll(ctx, src, ms, infos, tgtCat, o)
 	}
 	scratch := make([]*instance.Instance, len(ms))
 	errs := make([]error, len(ms))
@@ -59,7 +78,7 @@ func ChaseObs(src *instance.Instance, o *obs.Obs, ms ...*mapping.Mapping) (*inst
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			out := instance.New(tgtCat)
-			if errs[i] = chaseOne(src, ms[i], infos[i], out, o); errs[i] == nil {
+			if errs[i] = chaseOne(ctx, src, ms[i], infos[i], out, o); errs[i] == nil {
 				scratch[i] = out
 			}
 		}(i)
@@ -85,7 +104,7 @@ func ChaseSerial(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Inst
 	if err != nil {
 		return nil, err
 	}
-	return chaseAll(src, ms, infos, tgtCat, nil)
+	return chaseAll(context.Background(), src, ms, infos, tgtCat, nil)
 }
 
 // prepare validates the mapping set and resolves each mapping once,
@@ -113,10 +132,10 @@ func prepare(ms []*mapping.Mapping) ([]*mapping.Info, *nr.Catalog, error) {
 	return infos, tgtCat, nil
 }
 
-func chaseAll(src *instance.Instance, ms []*mapping.Mapping, infos []*mapping.Info, tgtCat *nr.Catalog, o *obs.Obs) (*instance.Instance, error) {
+func chaseAll(ctx context.Context, src *instance.Instance, ms []*mapping.Mapping, infos []*mapping.Info, tgtCat *nr.Catalog, o *obs.Obs) (*instance.Instance, error) {
 	out := instance.New(tgtCat)
 	for i, m := range ms {
-		if err := chaseOne(src, m, infos[i], out, o); err != nil {
+		if err := chaseOne(ctx, src, m, infos[i], out, o); err != nil {
 			return nil, err
 		}
 	}
@@ -151,13 +170,14 @@ func MustChaseObs(src *instance.Instance, o *obs.Obs, ms ...*mapping.Mapping) *i
 	return out
 }
 
-func chaseOne(src *instance.Instance, m *mapping.Mapping, info *mapping.Info, out *instance.Instance, o *obs.Obs) error {
+func chaseOne(ctx context.Context, src *instance.Instance, m *mapping.Mapping, info *mapping.Info, out *instance.Instance, o *obs.Obs) error {
 	plan, err := planTarget(m, info)
 	if err != nil {
 		return err
 	}
 	sp := o.Start(obs.SpanChaseMapping)
 	e := newEvaluator(src, m, info)
+	e.ctx = ctx
 	err = e.each(func(asg assignment) error {
 		return plan.emit(asg, out)
 	})

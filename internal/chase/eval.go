@@ -1,13 +1,7 @@
-// Package chase implements the chase of a source instance with a set
-// of schema mappings (Fagin et al., TCS 2005; Popa et al., VLDB 2002),
-// producing the canonical universal solution. Labeled nulls and SetIDs
-// are minted as Skolem terms, so the chase is deterministic: chasing
-// the same instance twice yields the identical target instance, and
-// the union over mappings deduplicates tuples exactly as in Fig. 2 of
-// the paper.
 package chase
 
 import (
+	"context"
 	"strings"
 
 	"muse/internal/instance"
@@ -43,6 +37,30 @@ type evaluator struct {
 	probeAttrs []string
 	probeVals  []instance.Value
 	probeKey   []byte
+
+	// ctx, when non-nil, is polled every ctxCheckEvery candidate
+	// bindings; a cancelled context aborts the enumeration with
+	// ctx.Err(). The counter gate keeps the (possibly mutex-guarded)
+	// ctx.Err call off the per-binding hot path.
+	ctx   context.Context
+	steps int
+}
+
+// ctxCheckEvery is how many candidate bindings pass between context
+// polls: small enough that cancellation lands within microseconds,
+// large enough that the poll never shows up in profiles.
+const ctxCheckEvery = 512
+
+// cancelled reports (gated) whether the evaluator's context is done.
+func (e *evaluator) cancelled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	e.steps++
+	if e.steps%ctxCheckEvery != 0 {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // newEvaluator builds the enumeration plan from a mapping's memoized
@@ -78,6 +96,9 @@ func (e *evaluator) enumerate(i int, asg assignment, fn func(assignment) error) 
 	g := e.m.For[i]
 	var err error
 	e.eachCandidate(i, g, asg, func(t *instance.Tuple) bool {
+		if err = e.cancelled(); err != nil {
+			return false
+		}
 		asg[g.Var] = t
 		ok := true
 		for _, q := range e.joinAt[i] {

@@ -1,21 +1,3 @@
-// Package cliogen is a from-scratch, simplified reimplementation of
-// the mapping-generation core of Clio (Popa et al., VLDB 2002), which
-// the paper uses to produce the initial mappings Muse refines. Given a
-// source schema, a target schema, their constraints, and a set of
-// attribute correspondences ("arrows"), it:
-//
-//  1. computes the logical relations (tableaux) of each schema — one
-//     per nested set, consisting of the set's ancestor chain closed
-//     under the schema's referential constraints (each constraint
-//     occurrence contributing its own variable, which is what makes
-//     ambiguity possible);
-//  2. pairs source and target tableaux that cover correspondences,
-//     keeping pairs whose root sets themselves contribute;
-//  3. emits one mapping per kept pair, turning a correspondence with
-//     several candidate source variables into an or-group (ambiguity
-//     detection "during mapping generation", Sec. IV);
-//  4. installs the default G1 grouping function on every nested target
-//     set.
 package cliogen
 
 import (

@@ -1,0 +1,10 @@
+// Package codegen turns declarative mappings into executable SQL —
+// the reuse the paper's introduction motivates ("generate executable
+// transformation code for data exchange"). The nested target is
+// shredded into one table per set type: atoms become columns, each
+// set-valued field becomes a SetID column, and every nested table
+// carries a __sid column identifying the occurrence each row belongs
+// to. Skolem terms materialize as string concatenations, exactly
+// mirroring the chase's SetIDs, so running the generated SQL produces
+// the relational shredding of the canonical universal solution.
+package codegen

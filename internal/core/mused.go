@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,8 +36,22 @@ type DisambiguationWizard struct {
 	// registry (muse_mused_*), threads through to the chase and query
 	// engines, and records one "mused.disambiguate" span per question.
 	Obs *obs.Obs
+	// Ctx, when non-nil, bounds the wizard's work: example retrieval
+	// and the partial-target chase abort with Ctx.Err() once it is
+	// cancelled, unwinding Disambiguate with that error. Nil means
+	// context.Background().
+	Ctx context.Context
 	// Stats accumulates per-mapping effort.
 	Stats DStats
+}
+
+// context returns the wizard's bounding context, defaulting to
+// Background.
+func (w *DisambiguationWizard) context() context.Context {
+	if w.Ctx != nil {
+		return w.Ctx
+	}
+	return context.Background()
 }
 
 // retrieval returns the query options for one real-example retrieval,
@@ -45,7 +60,7 @@ func (w *DisambiguationWizard) retrieval() query.Options {
 	if w.Real != nil && (w.Store == nil || w.Store.Instance() != w.Real) {
 		w.Store = query.NewIndexStore(w.Real).Observe(w.Obs.Registry())
 	}
-	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel, Obs: w.Obs}
+	return query.Options{Timeout: w.Timeout, Ctx: w.Ctx, Store: w.Store, Parallel: w.Parallel, Obs: w.Obs}
 }
 
 // DStats records Muse-D effort, feeding the Sec. VI Muse-D table.
@@ -159,7 +174,7 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	// dropped), leaving nulls in the ambiguous slots.
 	common := m.Clone()
 	common.OrGroups = nil
-	target, err := chase.ChaseObs(ie, w.Obs, common)
+	target, err := chase.ChaseCtx(w.context(), ie, w.Obs, common)
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +228,9 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 func (w *DisambiguationWizard) DisambiguateAll(set *mapping.Set, d DisambiguationDesigner) (*mapping.Set, error) {
 	var out []*mapping.Mapping
 	for _, m := range set.Mappings {
+		if err := w.context().Err(); err != nil {
+			return nil, err
+		}
 		ms, err := w.Disambiguate(m, d)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,8 +51,23 @@ type GroupingWizard struct {
 	// (muse_museg_*), threads through to the chase and query engines,
 	// and records "museg.*" spans. Nil disables all of it.
 	Obs *obs.Obs
+	// Ctx, when non-nil, bounds the wizard's work: example retrieval
+	// and scenario chases abort with Ctx.Err() once it is cancelled or
+	// past its deadline, unwinding DesignSK with that error. A server
+	// hosting the wizard installs the per-request context here before
+	// resuming the dialog (see Stepper); nil means context.Background().
+	Ctx context.Context
 	// Stats accumulates per-grouping-function effort.
 	Stats Stats
+}
+
+// context returns the wizard's bounding context, defaulting to
+// Background.
+func (w *GroupingWizard) context() context.Context {
+	if w.Ctx != nil {
+		return w.Ctx
+	}
+	return context.Background()
 }
 
 // retrieval returns the query options for one real-example retrieval,
@@ -62,7 +78,7 @@ func (w *GroupingWizard) retrieval() query.Options {
 	if w.Real != nil && (w.Store == nil || w.Store.Instance() != w.Real) {
 		w.Store = query.NewIndexStore(w.Real).Observe(w.Obs.Registry())
 	}
-	return query.Options{Timeout: w.Timeout, Store: w.Store, Parallel: w.Parallel, Obs: w.Obs}
+	return query.Options{Timeout: w.Timeout, Ctx: w.Ctx, Store: w.Store, Parallel: w.Parallel, Obs: w.Obs}
 }
 
 // recordSK appends one grouping function's record and mirrors its
@@ -176,6 +192,9 @@ func (w *GroupingWizard) DesignSK(m *mapping.Mapping, fn string, d GroupingDesig
 	}
 	decidedOut := make(map[mapping.Expr]bool)
 	for ci, probe := range candidates {
+		if err := w.context().Err(); err != nil {
+			return nil, err
+		}
 		if coversPoss(confirmed, poss, imps) {
 			// Thm 3.2 / Cor 3.3: everything left is inconsequential.
 			break
@@ -246,11 +265,11 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 	sp := w.Obs.Start(obs.SpanMuseGProbe)
 	defer sp.End()
 	chaseStart := time.Now()
-	s1, err := chase.ChaseObs(ie, w.Obs, d1)
+	s1, err := chase.ChaseCtx(w.context(), ie, w.Obs, d1)
 	if err != nil {
 		return 0, false, err
 	}
-	s2, err := chase.ChaseObs(ie, w.Obs, d2)
+	s2, err := chase.ChaseCtx(w.context(), ie, w.Obs, d2)
 	if err != nil {
 		return 0, false, err
 	}
@@ -264,7 +283,12 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 			stats.RealExamples--
 			stats.SyntheticExamples++
 			chaseStart = time.Now()
-			s1, s2 = chase.MustChaseObs(ie, w.Obs, d1), chase.MustChaseObs(ie, w.Obs, d2)
+			if s1, err = chase.ChaseCtx(w.context(), ie, w.Obs, d1); err != nil {
+				return 0, false, err
+			}
+			if s2, err = chase.ChaseCtx(w.context(), ie, w.Obs, d2); err != nil {
+				return 0, false, err
+			}
 			stats.ChaseTime += time.Since(chaseStart)
 		}
 		if homo.Isomorphic(s1, s2) {
@@ -321,11 +345,11 @@ func (w *GroupingWizard) askKeyGrouping(m *mapping.Mapping, fn string, keyAttrs,
 		return 0, err
 	}
 	chaseStart := time.Now()
-	s1, err := chase.ChaseObs(ie, w.Obs, d1)
+	s1, err := chase.ChaseCtx(w.context(), ie, w.Obs, d1)
 	if err != nil {
 		return 0, err
 	}
-	s2, err := chase.ChaseObs(ie, w.Obs, d2)
+	s2, err := chase.ChaseCtx(w.context(), ie, w.Obs, d2)
 	if err != nil {
 		return 0, err
 	}

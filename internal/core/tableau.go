@@ -1,19 +1,3 @@
-// Package core implements the Muse wizards — the paper's contribution:
-//
-//   - Muse-G (Sec. III): designing the grouping function of every
-//     nested target set from the designer's answers to a short
-//     sequence of two-scenario questions over small examples, with the
-//     key- and FD-based question reductions of Sec. III-B/III-C, the
-//     incremental redesign ("group more" / "group less"), and the
-//     instance-only mode.
-//   - Muse-D (Sec. IV): disambiguating a mapping with or-predicates by
-//     showing one compact target instance with per-element choice
-//     lists, and translating the designer's picks back into an
-//     unambiguous mapping.
-//
-// Both wizards draw examples from a real source instance when it can
-// differentiate the alternatives, and construct synthetic canonical
-// examples otherwise.
 package core
 
 import (

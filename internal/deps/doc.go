@@ -1,0 +1,8 @@
+// Package deps implements the constraints Muse consumes: keys and
+// functional dependencies on nested sets of a source schema, and
+// referential (inclusion) constraints between nested sets. It provides
+// attribute-closure computation (used to implement Theorem 3.2 and its
+// FD generalization), single-key detection, and validity checking of
+// instances against a constraint set (the wizard must only ever show
+// valid examples).
+package deps

@@ -1,0 +1,9 @@
+// Package designer implements scripted designers ("oracles") for the
+// Muse wizards, used by tests, examples, and the Sec. VI experiment
+// harness. A grouping oracle holds the grouping function it has in
+// mind and answers each question by chasing the question's example
+// with its intended mapping and picking the isomorphic scenario — the
+// protocol the paper's experiments script for G1/G2/G3 designers. The
+// oracle also enforces the paper's well-formedness claim: exactly one
+// scenario must match.
+package designer

@@ -1,11 +1,3 @@
-// Package homo implements homomorphisms between NR instances as
-// defined in Sec. II of the paper: a homomorphism h maps constants to
-// themselves, labeled nulls to constants or nulls, and SetIDs to
-// SetIDs of the same set type, such that every tuple of every
-// (reachable) set is preserved. The package decides existence of a
-// homomorphism, homomorphic equivalence (same space of solutions,
-// Defn 3.1), and isomorphism (what a designer can always distinguish,
-// Sec. III-A).
 package homo
 
 import (

@@ -1,9 +1,3 @@
-// Package instance implements instances of nested relational schemas:
-// nested sets of tuples whose values are constants, labeled nulls, or
-// SetIDs. Labeled nulls and SetIDs are represented as Skolem terms
-// (function symbol applied to argument values), which makes the chase
-// deterministic and gives every value a canonical string encoding used
-// for set-union deduplication.
 package instance
 
 import (

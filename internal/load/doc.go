@@ -1,0 +1,7 @@
+// Package load reads and writes NR instances in the two external
+// formats the paper's data came in: XML documents (the DBLP
+// bibliography and Mondial's DTD form) for nested schemas, and
+// CSV files for relational ones. Loading validates against the
+// schema's catalog; nested set occurrences are minted deterministic
+// SetIDs in document order.
+package load

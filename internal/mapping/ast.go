@@ -1,20 +1,3 @@
-// Package mapping implements the schema-mapping language of Popa et
-// al. (VLDB 2002) that Muse operates on: mappings of the form
-//
-//	for    x1 in S1, ..., xn in Sn
-//	satisfy e1 and ... (source equalities)
-//	exists y1 in T1, ..., ym in Tm
-//	satisfy e1' and ... (target equalities)
-//	where  c1 and ... (source-to-target correspondences,
-//	                   possibly or-groups for ambiguous mappings,
-//	                   and grouping-function assignments
-//	                   y.SetField = SKName(a1, ..., ak))
-//
-// The package provides the AST, name/type resolution, pretty printing
-// in the paper's notation, and the syntactic transformations Muse
-// performs: replacing grouping functions, closing mappings under
-// referential constraints, installing default grouping functions, and
-// selecting an interpretation of an ambiguous mapping.
 package mapping
 
 import (

@@ -1,0 +1,11 @@
+// Package nr implements the nested relational (NR) data model of
+// Popa et al. (VLDB 2002) used by Muse: schemas are rooted trees of
+// record, set, and choice types over the atomic types String and Int.
+//
+// A schema is a named root record; set-valued fields nested anywhere
+// below the root model repeatable elements (relations, XML element
+// collections). The package provides type construction, schema
+// validation, path resolution, and a catalog of the schema's set types
+// (the "nested sets" that mappings range over and that grouping
+// functions are designed for).
+package nr

@@ -52,6 +52,16 @@ const (
 	// mapping generation (cmd/musegen)
 	MGenMappings  = "muse_gen_mappings_total"
 	MGenAmbiguous = "muse_gen_ambiguous_total"
+
+	// wizard-session server (internal/server)
+	MSrvRequests         = "muse_server_requests_total"          // HTTP requests served
+	MSrvSessionsStarted  = "muse_server_sessions_started_total"  // sessions created
+	MSrvSessionsFinished = "muse_server_sessions_finished_total" // dialogs that reached a terminal step
+	MSrvSessionsEvicted  = "muse_server_sessions_evicted_total"  // idle sessions dropped (LRU pressure or TTL)
+	MSrvSessionsRejected = "muse_server_sessions_rejected_total" // creations refused because the manager was full
+	MSrvAnswers          = "muse_server_answers_total"           // answers accepted
+	MSrvInvalidAnswers   = "muse_server_invalid_answers_total"   // answers rejected with 400/422
+	GSrvSessionsLive     = "muse_server_sessions_live"           // sessions currently held
 )
 
 // Span names. Dotted `component.operation` scheme; attributes are

@@ -1,18 +1,3 @@
-// Package obs is the dependency-free observability substrate of the
-// Muse reproduction: a registry of named atomic counters, gauges and
-// histograms with a Prometheus-style text exposition, and a
-// lightweight span tracer (trace.go) with a bounded in-memory ring of
-// finished spans and an optional JSONL event sink.
-//
-// Everything is nil-safe: calling any method on a nil *Registry, nil
-// *Tracer, nil *Obs, nil *Counter, nil *Gauge, nil *Histogram or nil
-// *Span is a no-op (or returns a zero value), so instrumented hot
-// paths pay exactly one branch when observability is disabled. The
-// instrumented packages (chase, query, core) rely on this: they never
-// check for nil before emitting.
-//
-// Metric and span names live in names.go; DESIGN.md §8 is the
-// human-readable catalog.
 package obs
 
 import (

@@ -1,29 +1,3 @@
-// Package parser implements the textual format of the Muse toolkit: a
-// document may declare schemas, constraints, correspondences, mappings
-// (in the paper's for/exists/where notation), and instances. The
-// printers in this package round-trip with the parser.
-//
-//	schema CompDB {
-//	  Companies: set of record { cid: int, cname: string, location: string },
-//	  Projects:  set of record { pid: string, pname: string, cid: int, manager: string },
-//	  Employees: set of record { eid: string, ename: string, contact: string }
-//	}
-//
-//	key CompDB.Companies(cid)
-//	fd  CompDB.Employees: ename -> contact
-//	ref f1: CompDB.Projects(cid) -> CompDB.Companies(cid)
-//
-//	correspondence CompDB.Companies.cname -> OrgDB.Orgs.oname
-//
-//	mapping m1 {
-//	  for c in CompDB.Companies
-//	  exists o in OrgDB.Orgs
-//	  where c.cname = o.oname and o.Projects = SKProjects(c.cid, c.cname, c.location)
-//	}
-//
-//	instance I of CompDB {
-//	  Companies: (111, "IBM", "Almaden"), (112, "SBC", "NY")
-//	}
 package parser
 
 import (

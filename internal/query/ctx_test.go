@@ -1,0 +1,87 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// crossQueryScenario builds an instance and a deliberately unindexable
+// query (a three-way cross product filtered by inequalities that never
+// all hold), so evaluation visits n^3 candidate combinations.
+func crossQueryScenario(n int) (*instance.Instance, *Query) {
+	src := nr.MustCatalog(nr.MustSchema("S", nr.Record(
+		nr.F("A", nr.SetOf(nr.Record(nr.F("a", nr.StringType())))),
+		nr.F("B", nr.SetOf(nr.Record(nr.F("b", nr.StringType())))),
+		nr.F("C", nr.SetOf(nr.Record(nr.F("c", nr.StringType())))),
+	)))
+	in := instance.New(src)
+	for i := 0; i < n; i++ {
+		s := strconv.Itoa(i)
+		in.MustInsertVals("A", "v"+s)
+		in.MustInsertVals("B", "v"+s)
+		in.MustInsertVals("C", "v"+s)
+	}
+	q := &Query{
+		Src: src,
+		Atoms: []Atom{
+			{Var: "x", Set: nr.ParsePath("A"), Bind: map[string]string{"a": "va"}},
+			{Var: "y", Set: nr.ParsePath("B"), Bind: map[string]string{"b": "vb"}},
+			{Var: "z", Set: nr.ParsePath("C"), Bind: map[string]string{"c": "vc"}},
+		},
+		// No equalities to index on; the inequalities only prune at the
+		// deepest level, so the search space stays n^3.
+		Neq: [][2]string{{"va", "vb"}, {"vb", "vc"}, {"va", "vc"}},
+	}
+	return in, q
+}
+
+func TestEvalCtxCancelStopsPromptly(t *testing.T) {
+	in, q := crossQueryScenario(200)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := q.Eval(in, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Eval after cancel: err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled Eval took %v, want prompt abort", elapsed)
+	}
+}
+
+func TestEvalCtxAlreadyCancelled(t *testing.T) {
+	in, q := crossQueryScenario(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms, err := q.Eval(in, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Eval with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("Eval with cancelled ctx returned %d matches", len(ms))
+	}
+}
+
+func TestEvalCtxBackgroundUnchanged(t *testing.T) {
+	in, q := crossQueryScenario(6)
+	plain, err := q.Eval(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := q.Eval(in, Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(withCtx) {
+		t.Fatalf("ctx-threaded Eval returned %d matches, plain %d", len(withCtx), len(plain))
+	}
+}

@@ -1,0 +1,25 @@
+// Package query implements conjunctive queries with equalities and
+// inequalities over NR instances. Muse uses such queries (the Q_Ie of
+// Sec. III-A and IV-A) to retrieve real tuples from the actual source
+// instance that realize a constructed example's agree/disagree
+// pattern; when no real match exists (or a deadline passes), the
+// wizards fall back to synthetic examples.
+//
+// Evaluation is index-driven: hash indexes over top-level sets come
+// from an IndexStore, shared across a whole design session when the
+// caller passes one (Options.Store), and a cost-based planner orders
+// the atoms by estimated candidate-set size using the store's
+// cardinality and distinct-value statistics.
+//
+// Invariants:
+//
+//   - Results are deterministic and independent of the plan chosen,
+//     the parallelism level, and whether indexes were warm.
+//   - Options.Timeout and Options.Ctx compose: a lapsed deadline
+//     surfaces as ErrTimeout (the wizards then fall back to synthetic
+//     examples), while a cancelled context surfaces as the context's
+//     own error so callers can tell designer abort from retrieval
+//     timeout.
+//   - An IndexStore is safe for concurrent use and never returns
+//     partially built indexes.
+package query

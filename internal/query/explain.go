@@ -40,7 +40,7 @@ func (p *Plan) Tiers() []string {
 
 // Explain renders the plan as one line per execution position:
 //
-//	0. e in CompDB.Emps [bound-composite] index(Name,Proj) cost=1.5 (atom 2)
+//  0. e in CompDB.Emps [bound-composite] index(Name,Proj) cost=1.5 (atom 2)
 //
 // Each line shows the position, the tuple variable, the set accessed
 // (parent.field for nested atoms), the access tier, the index

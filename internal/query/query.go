@@ -1,18 +1,7 @@
-// Package query implements conjunctive queries with equalities and
-// inequalities over NR instances. Muse uses such queries (the Q_Ie of
-// Sec. III-A and IV-A) to retrieve real tuples from the actual source
-// instance that realize a constructed example's agree/disagree
-// pattern; when no real match exists (or a deadline passes), the
-// wizards fall back to synthetic examples.
-//
-// Evaluation is index-driven: hash indexes over top-level sets come
-// from an IndexStore, shared across a whole design session when the
-// caller passes one (Options.Store), and a cost-based planner orders
-// the atoms by estimated candidate-set size using the store's
-// cardinality and distinct-value statistics.
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,6 +51,11 @@ type Options struct {
 	// aborted evaluation returns the matches found so far and
 	// ErrTimeout.
 	Timeout time.Duration
+	// Ctx, when non-nil, is polled during the backtracking search; a
+	// cancelled (or deadline-exceeded) context aborts the evaluation,
+	// which returns the matches found so far and ctx.Err(). It
+	// composes with Timeout: whichever fires first wins.
+	Ctx context.Context
 	// Store is a session-shared index store over the instance. When it
 	// is nil (or indexes a different instance) an ephemeral store is
 	// built for this evaluation, restoring the old per-Eval behavior.
@@ -137,6 +131,13 @@ func (q *Query) Validate() error {
 func (q *Query) Eval(in *instance.Instance, opt Options) ([]Match, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.Ctx != nil {
+		// Fail fast on an already-cancelled request before planning or
+		// building indexes.
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	store := opt.Store
 	if store == nil || store.Instance() != in {
@@ -521,20 +522,32 @@ type evalState struct {
 	raceLost func() bool
 }
 
-func (e *evalState) timedOut() bool {
+// aborted reports (gated to every 256 steps) whether the search must
+// stop: a lower parallel partition already filled the match quota, the
+// deadline passed (ErrTimeout), or the caller's context was cancelled
+// (ctx.Err()).
+func (e *evalState) aborted() error {
 	e.steps++
 	if e.steps%256 != 0 {
-		return false
+		return nil
 	}
 	if e.raceLost != nil && e.raceLost() {
-		return true
+		return ErrTimeout
 	}
-	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		return ErrTimeout
+	}
+	if e.opt.Ctx != nil {
+		if err := e.opt.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *evalState) search(i int) error {
-	if e.timedOut() {
-		return ErrTimeout
+	if err := e.aborted(); err != nil {
+		return err
 	}
 	if i >= len(e.q.Atoms) {
 		// All atoms matched: inequalities were checked incrementally.

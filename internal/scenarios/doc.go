@@ -1,0 +1,5 @@
+// Package scenarios provides the mapping scenarios used throughout the
+// Muse reproduction: the paper's running examples (Fig. 1/Fig. 2 and
+// the ambiguous mapping of Fig. 4) and synthetic stand-ins for the four
+// evaluation scenarios of Sec. VI (Mondial, DBLP, TPC-H, Amalgam).
+package scenarios

@@ -1,0 +1,28 @@
+// Package server hosts Muse wizard sessions over HTTP/JSON, turning
+// the interactive dialogs of Sec. III (Muse-G) and Sec. IV (Muse-D)
+// into a small REST-ish API so any client — a browser UI, a script, a
+// test harness — can drive mapping design without linking the Go
+// packages.
+//
+// The package builds on core.Stepper, which inverts the callback-style
+// Session.Run into a resumable question/answer state machine. A
+// Manager owns the live sessions: each is addressed by an unguessable
+// token, serialized by a per-session mutex, bounded in count (least
+// recently used idle sessions are evicted under pressure) and in age
+// (idle sessions past the TTL are swept). Distinct sessions of the
+// same scenario run concurrently and share one query.IndexStore, so
+// indexes built for one designer's retrievals serve every other.
+//
+// Invariants (DESIGN.md §9 states them normatively):
+//
+//   - One pending question per session; answers are validated against
+//     it and invalid answers never advance the dialog.
+//   - Wizard work runs under the context of the HTTP request that
+//     triggered it; a cancelled request aborts the work promptly and
+//     fails the session terminally (dialogs are cheap to replay).
+//   - Busy sessions (a request holds the per-session lock) are never
+//     evicted; a full manager whose sessions are all busy refuses new
+//     sessions with 503 rather than blocking.
+//   - The final mappings of a session are byte-identical to what the
+//     in-process core.Session.Run produces for the same answers.
+package server

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"muse/internal/core"
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/obs"
+	"muse/internal/query"
+)
+
+// Scenario is one design problem the server can host sessions over:
+// the mapping set under design, plus the optional source constraints
+// and real instance the wizards draw examples from. All sessions of a
+// scenario share one index store over Real, so retrieval indexes are
+// built once per server, not once per session.
+type Scenario struct {
+	// Deps holds the source constraints (may be nil).
+	Deps *deps.Set
+	// Real is the source instance examples come from (may be nil:
+	// always synthetic examples).
+	Real *instance.Instance
+	// Set is the (possibly ambiguous) mapping set to refine.
+	Set *mapping.Set
+
+	storeOnce sync.Once
+	store     *query.IndexStore
+}
+
+// sharedStore returns the scenario's index store, built lazily on the
+// first session and attached to the registry for index metrics.
+func (sc *Scenario) sharedStore(reg *obs.Registry) *query.IndexStore {
+	sc.storeOnce.Do(func() {
+		if sc.Real != nil {
+			sc.store = query.NewIndexStore(sc.Real).Observe(reg)
+		}
+	})
+	return sc.store
+}
+
+// Errors the Manager reports; the HTTP layer maps them to status
+// codes (404, 503).
+var (
+	ErrNoSession   = errors.New("server: no such session")
+	ErrFull        = errors.New("server: session limit reached and every session is busy")
+	ErrNoScenario  = errors.New("server: no such scenario")
+	ErrSessionBusy = errors.New("server: session is processing another request")
+)
+
+// Session is one live wizard dialog: a core.Stepper plus the
+// bookkeeping the manager needs. Handlers must hold mu across every
+// Stepper call (acquire tries a TryLock so a busy session answers 409
+// instead of queueing).
+type Session struct {
+	// Token addresses the session; 16 random bytes, hex-encoded.
+	Token string
+	// ScenarioName is the scenario the session designs.
+	ScenarioName string
+	// Stepper holds the dialog state.
+	Stepper *core.Stepper
+	// Created is the creation time.
+	Created time.Time
+
+	mu sync.Mutex
+	// lastUsed is guarded by the manager's lock, not mu: eviction scans
+	// read it without touching busy sessions.
+	lastUsed time.Time
+	// finished flips once (under mu) when the dialog reaches a terminal
+	// step, so the finished counter counts dialogs, not polls.
+	finished bool
+}
+
+// Release returns the session to the manager after an acquire.
+func (s *Session) Release() { s.mu.Unlock() }
+
+// MarkFinished records the dialog's terminal step once; further calls
+// are no-ops. Call with the session acquired.
+func (s *Session) MarkFinished(reg *obs.Registry) {
+	if !s.finished {
+		s.finished = true
+		reg.Counter(obs.MSrvSessionsFinished).Inc()
+	}
+}
+
+// Manager owns the live sessions of a server: creation, token lookup,
+// deletion, and the two bounds — a maximum session count with
+// least-recently-used eviction, and an idle TTL swept on every create
+// and lookup. Only idle sessions (their per-session lock is free) are
+// ever evicted; a full manager whose sessions are all busy refuses
+// creations with ErrFull.
+type Manager struct {
+	// MaxSessions bounds the live session count (default
+	// DefaultMaxSessions).
+	MaxSessions int
+	// TTL is the idle lifetime; sessions untouched for longer are
+	// evicted on the next sweep (default DefaultTTL). Zero or negative
+	// disables expiry.
+	TTL time.Duration
+	// Scenarios maps scenario names to their design problems.
+	Scenarios map[string]*Scenario
+	// Obs receives the muse_server_* metrics and spans; may be nil.
+	Obs *obs.Obs
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// DefaultMaxSessions and DefaultTTL bound managers that don't choose.
+const (
+	DefaultMaxSessions = 64
+	DefaultTTL         = 30 * time.Minute
+)
+
+// NewManager builds a manager over the given scenarios.
+func NewManager(scenarios map[string]*Scenario, o *obs.Obs) *Manager {
+	return &Manager{
+		MaxSessions: DefaultMaxSessions,
+		TTL:         DefaultTTL,
+		Scenarios:   scenarios,
+		Obs:         o,
+		sessions:    make(map[string]*Session),
+	}
+}
+
+func (mg *Manager) reg() *obs.Registry { return mg.Obs.Registry() }
+
+// newToken mints an unguessable session token.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: crypto/rand failed: %v", err)) // out of entropy: unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create starts a session over the named scenario. The returned
+// session is acquired: the caller drives the first Step and must
+// Release it. ctx bounds the wizard work up to the first question.
+func (mg *Manager) Create(ctx context.Context, scenario string) (*Session, error) {
+	sc, ok := mg.Scenarios[scenario]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoScenario, scenario)
+	}
+	store := sc.sharedStore(mg.reg())
+
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	mg.sweepLocked(time.Now())
+	if len(mg.sessions) >= mg.max() {
+		if !mg.evictLRULocked() {
+			mg.reg().Counter(obs.MSrvSessionsRejected).Inc()
+			return nil, ErrFull
+		}
+	}
+
+	cs := core.NewSession(sc.Deps, sc.Real).Observe(mg.Obs)
+	// Replace the per-session store with the scenario-wide one, and keep
+	// prefetch off: its background workers capture the request context,
+	// which is dead by the next request.
+	cs.Grouping.Store = store
+	cs.Grouping.Prefetch = false
+	cs.Disambiguation.Store = store
+
+	s := &Session{
+		Token:        newToken(),
+		ScenarioName: scenario,
+		Created:      time.Now(),
+		lastUsed:     time.Now(),
+	}
+	s.mu.Lock() // acquired for the caller; no contention possible yet
+	s.Stepper = core.NewStepper(ctx, cs, sc.Set)
+	mg.sessions[s.Token] = s
+	mg.reg().Counter(obs.MSrvSessionsStarted).Inc()
+	mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
+	return s, nil
+}
+
+// Acquire looks a session up by token and locks it for the caller,
+// who must Release it. A session currently serving another request
+// yields ErrSessionBusy rather than queueing, keeping the manager's
+// lock out of wizard-length critical sections.
+func (mg *Manager) Acquire(token string) (*Session, error) {
+	mg.mu.Lock()
+	mg.sweepLocked(time.Now())
+	s, ok := mg.sessions[token]
+	if ok {
+		s.lastUsed = time.Now()
+	}
+	mg.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSession
+	}
+	if !s.mu.TryLock() {
+		return nil, ErrSessionBusy
+	}
+	return s, nil
+}
+
+// Delete closes and removes a session. It waits for an in-flight
+// request to release the session first (Close has already cancelled
+// the session's work, so the wait is short).
+func (mg *Manager) Delete(token string) error {
+	mg.mu.Lock()
+	s, ok := mg.sessions[token]
+	if ok {
+		delete(mg.sessions, token)
+		mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
+	}
+	mg.mu.Unlock()
+	if !ok {
+		return ErrNoSession
+	}
+	s.Stepper.Close()
+	s.mu.Lock() // drain any in-flight handler
+	s.mu.Unlock()
+	return nil
+}
+
+// Close tears down every session; used at server shutdown after the
+// HTTP listener has drained.
+func (mg *Manager) Close() {
+	mg.mu.Lock()
+	all := make([]*Session, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		all = append(all, s)
+	}
+	mg.sessions = make(map[string]*Session)
+	mg.reg().Gauge(obs.GSrvSessionsLive).Set(0)
+	mg.mu.Unlock()
+	for _, s := range all {
+		s.Stepper.Close()
+	}
+}
+
+// Len reports the live session count.
+func (mg *Manager) Len() int {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	return len(mg.sessions)
+}
+
+func (mg *Manager) max() int {
+	if mg.MaxSessions > 0 {
+		return mg.MaxSessions
+	}
+	return DefaultMaxSessions
+}
+
+// sweepLocked evicts idle sessions whose TTL has lapsed. Busy sessions
+// are skipped: their lastUsed refreshes on release of the next
+// Acquire, and a session cannot be torn down mid-request.
+func (mg *Manager) sweepLocked(now time.Time) {
+	if mg.TTL <= 0 {
+		return
+	}
+	for token, s := range mg.sessions {
+		if now.Sub(s.lastUsed) < mg.TTL {
+			continue
+		}
+		if !s.mu.TryLock() {
+			continue // busy: not idle, not evictable
+		}
+		delete(mg.sessions, token)
+		s.Stepper.Close()
+		s.mu.Unlock()
+		mg.reg().Counter(obs.MSrvSessionsEvicted).Inc()
+	}
+	mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
+}
+
+// evictLRULocked drops the least recently used idle session, reporting
+// whether it made room. The true LRU may be busy, in which case the
+// next oldest idle session goes; all busy means no room.
+func (mg *Manager) evictLRULocked() bool {
+	byAge := make([]*Session, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		byAge = append(byAge, s)
+	}
+	sort.Slice(byAge, func(i, j int) bool { return byAge[i].lastUsed.Before(byAge[j].lastUsed) })
+	for _, victim := range byAge {
+		if !victim.mu.TryLock() {
+			continue
+		}
+		delete(mg.sessions, victim.Token)
+		victim.Stepper.Close()
+		victim.mu.Unlock()
+		mg.reg().Counter(obs.MSrvSessionsEvicted).Inc()
+		mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
+		return true
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"fmt"
+
+	"muse/internal/parser"
+	"muse/internal/scenarios"
+)
+
+// Builtin returns the paper's two running examples as servable
+// scenarios: "fig1" (the CompDB→OrgDB grouping scenario of Fig. 1,
+// with the Companies key of Sec. III-B) and "fig4" (the ambiguous
+// Projects mapping of Fig. 4). They make the server usable with zero
+// configuration and back the docs/API.md walkthrough.
+func Builtin() map[string]*Scenario {
+	f1 := scenarios.NewFigure1(true)
+	f4 := scenarios.NewFigure4()
+	return map[string]*Scenario{
+		"fig1": {Deps: f1.SrcDeps, Real: f1.Source, Set: f1.Set},
+		"fig4": {Deps: f4.SrcDeps, Real: f4.Source, Set: f4.Set},
+	}
+}
+
+// FromDocument builds a scenario from a parsed Muse document: the
+// mapping set between the named schemas, the source schema's
+// constraints, and (when instName is non-empty) the named instance.
+func FromDocument(doc *parser.Document, src, tgt, instName string) (*Scenario, error) {
+	set, err := doc.MappingSet(src, tgt)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{Deps: doc.Deps[src], Set: set}
+	if instName != "" {
+		sc.Real = doc.Instances[instName]
+		if sc.Real == nil {
+			return nil, fmt.Errorf("server: document has no instance %q", instName)
+		}
+	}
+	return sc, nil
+}

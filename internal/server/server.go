@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"muse/internal/core"
+	"muse/internal/obs"
+)
+
+// MaxBodyBytes bounds every request body; answers and session specs
+// are tiny, so anything past this is a client error (413).
+const MaxBodyBytes = 1 << 20
+
+// Server is the HTTP front of a Manager. Zero-configuration use:
+//
+//	srv := server.New(server.NewManager(scenarios, o))
+//	http.ListenAndServe(addr, srv)
+//
+// Routes (docs/API.md is the full reference):
+//
+//	POST   /v1/sessions               start a session  {"scenario": name}
+//	GET    /v1/sessions/{token}       pending question / terminal state
+//	POST   /v1/sessions/{token}/answer submit an answer, returns next step
+//	GET    /v1/sessions/{token}/result terminal mappings (409 while running)
+//	DELETE /v1/sessions/{token}       close the session
+//	GET    /healthz                    liveness
+//	GET    /metrics                    Prometheus text exposition
+type Server struct {
+	Manager *Manager
+	mux     *http.ServeMux
+}
+
+// New wires the routes over the manager.
+func New(mg *Manager) *Server {
+	s := &Server{Manager: mg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{token}", s.handleQuestion)
+	s.mux.HandleFunc("POST /v1/sessions/{token}/answer", s.handleAnswer)
+	s.mux.HandleFunc("GET /v1/sessions/{token}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/sessions/{token}", s.handleDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.Manager.reg().Counter(obs.MSrvRequests).Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform error body: {"error": "...", "code": "..."}.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error(), "code": code})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) // nothing to do about a failed write
+}
+
+// mapManagerErr translates manager errors to HTTP status + code.
+func mapManagerErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoSession):
+		writeError(w, http.StatusNotFound, "no_session", err)
+	case errors.Is(err, ErrNoScenario):
+		writeError(w, http.StatusNotFound, "no_scenario", err)
+	case errors.Is(err, ErrFull):
+		writeError(w, http.StatusServiceUnavailable, "full", err)
+	case errors.Is(err, ErrSessionBusy):
+		writeError(w, http.StatusConflict, "busy", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+// stepBody is a session envelope around a rendered step.
+func stepBody(s *Session, step core.Step) map[string]any {
+	return map[string]any{
+		"token":    s.Token,
+		"scenario": s.ScenarioName,
+		"step":     renderStep(step),
+	}
+}
+
+// step runs one Stepper call under the request context and writes the
+// result, marking terminal dialogs in the metrics.
+func (s *Server) writeStep(w http.ResponseWriter, sess *Session, step core.Step, status int) {
+	if step.Done {
+		sess.MarkFinished(s.Manager.reg())
+	}
+	writeJSON(w, status, stepBody(sess, step))
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Scenario string `json:"scenario"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	sess, err := s.Manager.Create(r.Context(), req.Scenario)
+	if err != nil {
+		mapManagerErr(w, err)
+		return
+	}
+	defer sess.Release()
+	step, err := sess.Stepper.Step(r.Context())
+	if err != nil {
+		writeError(w, http.StatusGatewayTimeout, "cancelled", err)
+		return
+	}
+	s.writeStep(w, sess, step, http.StatusCreated)
+}
+
+func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Manager.Acquire(r.PathValue("token"))
+	if err != nil {
+		mapManagerErr(w, err)
+		return
+	}
+	defer sess.Release()
+	step, err := sess.Stepper.Step(r.Context())
+	if err != nil {
+		writeError(w, http.StatusGatewayTimeout, "cancelled", err)
+		return
+	}
+	s.writeStep(w, sess, step, http.StatusOK)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Scenario int     `json:"scenario"`
+		Choices  [][]int `json:"choices"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Errorf("server: decoding answer: %w", err))
+		return
+	}
+	sess, err := s.Manager.Acquire(r.PathValue("token"))
+	if err != nil {
+		mapManagerErr(w, err)
+		return
+	}
+	defer sess.Release()
+	step, err := sess.Stepper.Answer(r.Context(), core.Answer{Scenario: req.Scenario, Choices: req.Choices})
+	switch {
+	case errors.Is(err, core.ErrInvalidAnswer):
+		s.Manager.reg().Counter(obs.MSrvInvalidAnswers).Inc()
+		writeError(w, http.StatusUnprocessableEntity, "invalid_answer", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusGatewayTimeout, "cancelled", err)
+		return
+	}
+	s.Manager.reg().Counter(obs.MSrvAnswers).Inc()
+	s.writeStep(w, sess, step, http.StatusOK)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Manager.Acquire(r.PathValue("token"))
+	if err != nil {
+		mapManagerErr(w, err)
+		return
+	}
+	defer sess.Release()
+	if !sess.Stepper.Done() {
+		writeError(w, http.StatusConflict, "not_done", errors.New("server: session still has pending questions"))
+		return
+	}
+	step := sess.Stepper.Result()
+	sess.MarkFinished(s.Manager.reg())
+	if step.Err != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"token": sess.Token, "scenario": sess.ScenarioName,
+			"state": "failed", "error": step.Err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"token": sess.Token, "scenario": sess.ScenarioName,
+		"state": "done", "questions": step.Seq, "mappings": renderMappings(step.Result),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Manager.Delete(r.PathValue("token")); err != nil {
+		mapManagerErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.Manager.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Manager.reg().WriteText(w)
+}

@@ -39,6 +39,7 @@
 package muse
 
 import (
+	"context"
 	"io"
 
 	"muse/internal/chase"
@@ -54,6 +55,7 @@ import (
 	"muse/internal/nr"
 	"muse/internal/obs"
 	"muse/internal/parser"
+	"muse/internal/server"
 )
 
 // --- nested relational model ---
@@ -240,6 +242,59 @@ func NewDisambiguationWizard(src *Constraints, real *Instance) *DisambiguationWi
 // NewSession builds the full pipeline: Muse-D, then Muse-G.
 func NewSession(src *Constraints, real *Instance) *Session {
 	return core.NewSession(src, real)
+}
+
+// --- serving: resumable dialogs and the HTTP session server ---
+
+type (
+	// Stepper is a Session inverted into a resumable question/answer
+	// state machine: pull the pending question with Step, push replies
+	// with Answer — the shape a server needs to host one wizard dialog
+	// across many requests.
+	Stepper = core.Stepper
+	// Step is the externally visible state of a Stepper: a pending
+	// question or the terminal result.
+	Step = core.Step
+	// Answer is one designer reply submitted to a Stepper.
+	Answer = core.Answer
+	// Server is the HTTP/JSON wizard-session server behind cmd/musesrv
+	// (an http.Handler; see docs/API.md for the wire reference).
+	Server = server.Server
+	// ServerManager owns a server's bounded, token-addressed sessions.
+	ServerManager = server.Manager
+	// ServerScenario is one named mapping-design task a server offers.
+	ServerScenario = server.Scenario
+)
+
+// ErrInvalidAnswer marks a Stepper answer that does not fit the
+// pending question; the dialog does not advance.
+var ErrInvalidAnswer = core.ErrInvalidAnswer
+
+// NewStepper starts the full design pipeline (as Session.Run) as a
+// resumable dialog. ctx bounds the work up to the first question; the
+// caller must eventually Close the stepper or finish the dialog.
+func NewStepper(ctx context.Context, s *Session, set *MappingSet) *Stepper {
+	return core.NewStepper(ctx, s, set)
+}
+
+// NewServer wraps a session manager as an http.Handler serving the
+// docs/API.md wire protocol.
+func NewServer(mg *ServerManager) *Server { return server.New(mg) }
+
+// NewServerManager builds a session manager over named scenarios; a
+// nil *Obs disables the muse_server_* metrics.
+func NewServerManager(scenarios map[string]*ServerScenario, o *Obs) *ServerManager {
+	return server.NewManager(scenarios, o)
+}
+
+// BuiltinScenarios returns the paper's built-in server scenarios:
+// "fig1" (grouping design) and "fig4" (disambiguation).
+func BuiltinScenarios() map[string]*ServerScenario { return server.Builtin() }
+
+// ScenarioFromDocument builds a server scenario from a parsed Muse
+// document: the src→tgt mapping set designed over the named instance.
+func ScenarioFromDocument(doc *Document, src, tgt, instName string) (*ServerScenario, error) {
+	return server.FromDocument(doc, src, tgt, instName)
 }
 
 // --- observability ---
