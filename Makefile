@@ -3,14 +3,16 @@
 # race pass over the retrieval path (concurrent index building in
 # internal/query + the wizards' prefetch workers), benchmark smoke
 # runs (one iteration; catch bit-rot in the bench harness without
-# paying for a full sweep), and an observability smoke run (an
-# end-to-end wizard session must produce non-zero metrics and a trace).
+# paying for a full sweep), an observability smoke run (an end-to-end
+# wizard session must produce non-zero metrics and a trace), the
+# cross-check harness (differential oracles over every engine, see
+# DESIGN.md §10), and a fuzz smoke pass (every fuzz target briefly).
 
 GO ?= go
 
-.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke server-smoke bench-guard bench
+.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke server-smoke crosscheck fuzz-smoke bench-guard bench
 
-ci: vet build race race-retrieval bench-smoke obs-smoke server-smoke
+ci: vet build race race-retrieval bench-smoke obs-smoke server-smoke crosscheck fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +31,24 @@ race-retrieval:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkChase|BenchmarkProbeRetrieval' -benchtime=1x .
+
+# Cross-check harness: the four differential oracle families (chase,
+# query, wizard, server) over every builtin scenario plus seeded
+# mutated and random ones. Deterministic in the seed; exits non-zero
+# with a minimized repro on any disagreement.
+crosscheck:
+	$(GO) run ./cmd/musecheck -seed 1 -cases 8 -queries 12
+
+# Brief fuzz pass over every native fuzz target: long enough to replay
+# the checked-in corpus and shake the nearby input space, short enough
+# for CI. Targets live in internal/load, internal/instance, and
+# internal/crosscheck (seeded differential fuzzing).
+fuzz-smoke:
+	$(GO) test ./internal/load -run '^$$' -fuzz '^FuzzCSV$$' -fuzztime 10s
+	$(GO) test ./internal/load -run '^$$' -fuzz '^FuzzXML$$' -fuzztime 10s
+	$(GO) test ./internal/instance -run '^$$' -fuzz '^FuzzInsertRow$$' -fuzztime 10s
+	$(GO) test ./internal/crosscheck -run '^$$' -fuzz '^FuzzMutatedChase$$' -fuzztime 10s
+	$(GO) test ./internal/crosscheck -run '^$$' -fuzz '^FuzzRandomQuery$$' -fuzztime 10s
 
 # End-to-end observability check: run a scripted Muse-G session on the
 # Fig. 1 scenario with -metrics and -trace, then assert the headline

@@ -1,6 +1,7 @@
 package chase_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -9,22 +10,31 @@ import (
 	"muse/internal/scenarios"
 )
 
+// setProcs pins GOMAXPROCS for the test (Chase sizes its worker pool
+// from it, and falls back to the serial chase at 1), restoring the old
+// value on cleanup.
+func setProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 // forceParallel raises GOMAXPROCS so Chase takes its worker-pool path
 // even on single-CPU machines (where it would otherwise fall back to
 // the serial chase), restoring the old value on cleanup.
 func forceParallel(t *testing.T) {
 	t.Helper()
-	old := runtime.GOMAXPROCS(4)
-	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	setProcs(t, 4)
 }
 
 // TestChaseParallelMatchesSerial asserts that the parallel Chase and
 // ChaseSerial produce instances with identical canonical encodings on
 // every evaluation scenario: same non-empty sets, same tuples, and the
 // same rendered form (which exercises occurrence creation order for
-// unreferenced sets too).
+// unreferenced sets too). Each scenario runs at GOMAXPROCS 1 (the
+// serial fallback), 2, and 8 (more workers than mappings), so worker
+// scheduling can't leak into the result at any pool size.
 func TestChaseParallelMatchesSerial(t *testing.T) {
-	forceParallel(t)
 	for _, s := range scenarios.All() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
@@ -40,19 +50,25 @@ func TestChaseParallelMatchesSerial(t *testing.T) {
 				ms = append(ms, m)
 			}
 			src := s.NewInstance(0.02)
-			par, err := chase.Chase(src, ms...)
-			if err != nil {
-				t.Fatal(err)
-			}
 			ser, err := chase.ChaseSerial(src, ms...)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !par.Equal(ser) {
-				t.Fatalf("parallel and serial chase disagree on %s", s.Name)
-			}
-			if ps, ss := par.String(), ser.String(); ps != ss {
-				t.Fatalf("parallel and serial chase render differently on %s:\nparallel:\n%s\nserial:\n%s", s.Name, ps, ss)
+			for _, procs := range []int{1, 2, 8} {
+				procs := procs
+				t.Run(fmt.Sprintf("procs%d", procs), func(t *testing.T) {
+					setProcs(t, procs)
+					par, err := chase.Chase(src, ms...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !par.Equal(ser) {
+						t.Fatalf("parallel and serial chase disagree on %s", s.Name)
+					}
+					if ps, ss := par.String(), ser.String(); ps != ss {
+						t.Fatalf("parallel and serial chase render differently on %s:\nparallel:\n%s\nserial:\n%s", s.Name, ps, ss)
+					}
+				})
 			}
 		})
 	}

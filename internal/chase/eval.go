@@ -102,7 +102,13 @@ func (e *evaluator) enumerate(i int, asg assignment, fn func(assignment) error) 
 		asg[g.Var] = t
 		ok := true
 		for _, q := range e.joinAt[i] {
-			if !instance.SameValue(asg[q.L.Var].Get(q.L.Attr), asg[q.R.Var].Get(q.R.Attr)) {
+			lv := asg[q.L.Var].Get(q.L.Attr)
+			rv := asg[q.R.Var].Get(q.R.Attr)
+			// An equality over an unset slot never holds: the indexed
+			// candidate path (index builds skip nil slots, probes with a
+			// nil bound value yield nothing) and this residual check must
+			// agree, or ForSat predicate order changes the result.
+			if lv == nil || rv == nil || !instance.SameValue(lv, rv) {
 				ok = false
 				break
 			}

@@ -1,0 +1,74 @@
+package chase_test
+
+import (
+	"testing"
+
+	"muse/internal/chase"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// nilJoinFixture builds a source with two sets A{x,y} and B{x,y} whose
+// single tuples agree on x but leave y unset on both sides, a target
+// with one set T{u}, and a mapping joining A and B on both attributes.
+// ForSat is a conjunction, so its predicate order must not change the
+// chase result.
+func nilJoinFixture(t *testing.T, forSat []mapping.Eq) (*instance.Instance, *mapping.Mapping) {
+	t.Helper()
+	src := nr.MustCatalog(nr.MustSchema("S", nr.Record(
+		nr.F("A", nr.SetOf(nr.Record(nr.F("x", nr.StringType()), nr.F("y", nr.StringType())))),
+		nr.F("B", nr.SetOf(nr.Record(nr.F("x", nr.StringType()), nr.F("y", nr.StringType())))),
+	)))
+	tgt := nr.MustCatalog(nr.MustSchema("T", nr.Record(
+		nr.F("T", nr.SetOf(nr.Record(nr.F("u", nr.StringType())))),
+	)))
+	m := &mapping.Mapping{
+		Name: "m", Src: src, Tgt: tgt,
+		For: []mapping.Gen{
+			mapping.FromRoot("a", "A"),
+			mapping.FromRoot("b", "B"),
+		},
+		ForSat: forSat,
+		Exists: []mapping.Gen{mapping.FromRoot("t", "T")},
+		Where:  []mapping.Eq{{L: mapping.E("a", "x"), R: mapping.E("t", "u")}},
+	}
+	in := instance.New(src)
+	ta := instance.NewTuple(src.ByPath(nr.ParsePath("A")))
+	ta.Put("x", instance.C("1")) // y left unset
+	in.InsertTop(src.ByPath(nr.ParsePath("A")), ta)
+	tb := instance.NewTuple(src.ByPath(nr.ParsePath("B")))
+	tb.Put("x", instance.C("1")) // y left unset
+	in.InsertTop(src.ByPath(nr.ParsePath("B")), tb)
+	return in, m
+}
+
+// TestChaseNilJoinOrderIndependent is the minimized regression for the
+// unset-slot join bug the crosscheck harness flushed out: the indexed
+// candidate path treated an equality over an unset (nil) slot as
+// unsatisfiable, while the residual join check treated nil = nil as
+// true — so swapping the order of two ForSat predicates (a no-op on a
+// conjunction) changed the chase output. The defined semantics (shared
+// with the query engine, whose binder rejects unset slots) is that an
+// equality over an unset slot never holds.
+func TestChaseNilJoinOrderIndependent(t *testing.T) {
+	xFirst := []mapping.Eq{
+		{L: mapping.E("a", "x"), R: mapping.E("b", "x")},
+		{L: mapping.E("a", "y"), R: mapping.E("b", "y")},
+	}
+	yFirst := []mapping.Eq{
+		{L: mapping.E("a", "y"), R: mapping.E("b", "y")},
+		{L: mapping.E("a", "x"), R: mapping.E("b", "x")},
+	}
+	inX, mX := nilJoinFixture(t, xFirst)
+	inY, mY := nilJoinFixture(t, yFirst)
+	outX := chase.MustChase(inX, mX)
+	outY := chase.MustChase(inY, mY)
+	if gx, gy := outX.String(), outY.String(); gx != gy {
+		t.Fatalf("ForSat order changed the chase result:\n--- x-first ---\n%s--- y-first ---\n%s", gx, gy)
+	}
+	// And the defined semantics: the nil = nil join never fires.
+	if n := outX.TupleCount(); n != 0 {
+		t.Fatalf("equality over unset slots fired: %d target tuples, want 0\n%s", n, outX)
+	}
+}

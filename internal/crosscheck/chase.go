@@ -1,0 +1,245 @@
+package crosscheck
+
+import (
+	"fmt"
+
+	"muse/internal/chase"
+	"muse/internal/homo"
+	"muse/internal/instance"
+	"muse/internal/nr"
+	"muse/internal/parser"
+)
+
+// CheckChase runs the chase oracle: on every case, ChaseSerial, the
+// parallel Chase (under forced GOMAXPROCS so the worker pool engages
+// even on one core), and NaiveChase must agree — the two production
+// engines byte-identically, the reference up to isomorphism. Panics
+// and error-behavior mismatches count as failures too.
+func CheckChase(cfg Config) []Failure {
+	cfg = cfg.withDefaults()
+	var fails []Failure
+	for _, c := range ChaseCases(cfg) {
+		cfg.logf("  chase case %s (%d tuples, %d mappings)", c.Name, c.Src.TupleCount(), len(c.Ms))
+		if f := checkChaseCase(c); f != nil {
+			f.Seed = cfg.Seed
+			fails = append(fails, *f)
+		}
+	}
+	return fails
+}
+
+// naiveBudget bounds the estimated leaf visits of one NaiveChase call.
+// Generate-and-test is exponential in the generator count, so the
+// reference leg runs on a downsampled instance when a case exceeds it;
+// the optimized engines still cross-check each other at full size.
+const naiveBudget = 2e6
+
+// naiveCost estimates NaiveChase's leaf visits: per mapping, the
+// product of the generators' candidate pool sizes (nested generators
+// approximated by their set's average occurrence size).
+func naiveCost(c *Case) float64 {
+	total := 0.0
+	for _, m := range c.Ms {
+		info, err := m.Analyze()
+		if err != nil {
+			continue
+		}
+		cost := 1.0
+		for _, g := range m.For {
+			st := info.SrcVars[g.Var]
+			n := float64(len(c.Src.AllTuples(st)))
+			if g.Parent != "" {
+				if occs := len(c.Src.Occurrences(st)); occs > 0 {
+					n /= float64(occs)
+				}
+			}
+			if n > 1 {
+				cost *= n
+			}
+		}
+		total += cost
+	}
+	return total
+}
+
+// naiveSized returns a case NaiveChase can afford: the case itself
+// when it fits the budget, otherwise a deterministic downsample that
+// keeps only the first k tuples of every top-level set, halving k
+// until the estimate fits.
+func naiveSized(c *Case) *Case {
+	if naiveCost(c) <= naiveBudget {
+		return c
+	}
+	for limit := 64; limit >= 1; limit /= 2 {
+		n := limit
+		cand := &Case{
+			Name: fmt.Sprintf("%s-cap%d", c.Name, n),
+			Src:  filterTop(c.Src, func(st *nr.SetType, i int) bool { return i < n }),
+			Ms:   c.Ms,
+		}
+		if naiveCost(cand) <= naiveBudget {
+			return cand
+		}
+	}
+	return &Case{Name: c.Name + "-cap0", Src: instance.New(c.Src.Cat), Ms: c.Ms}
+}
+
+// checkChaseCase cross-checks one case; nil means agreement.
+func checkChaseCase(c *Case) *Failure {
+	var ser, par *instance.Instance
+	errSer := guard(func() error { var err error; ser, err = chase.ChaseSerial(c.Src, c.Ms...); return err })
+	var errPar error
+	forceParallel(4, func() {
+		errPar = guard(func() error { var err error; par, err = chase.Chase(c.Src, c.Ms...); return err })
+	})
+	if (errSer == nil) != (errPar == nil) {
+		return &Failure{
+			Oracle: "chase", Case: c.Name,
+			Detail: fmt.Sprintf("error behavior diverged: serial=%v parallel=%v", errSer, errPar),
+			Repro:  reproCase(c),
+		}
+	}
+	if errSer == nil {
+		if ps, ss := par.String(), ser.String(); ps != ss {
+			return &Failure{
+				Oracle: "chase", Case: c.Name,
+				Detail: "parallel Chase and ChaseSerial render differently",
+				Repro:  reproCase(minimizeChase(c, divergeParSer)),
+			}
+		}
+	}
+
+	// Reference leg, possibly on a downsampled copy of the case.
+	nc := naiveSized(c)
+	if nc != c {
+		errSer = guard(func() error { var err error; ser, err = chase.ChaseSerial(nc.Src, nc.Ms...); return err })
+	}
+	var ref *instance.Instance
+	errRef := guard(func() error { var err error; ref, err = NaiveChase(nc.Src, nc.Ms...); return err })
+	if (errSer == nil) != (errRef == nil) {
+		return &Failure{
+			Oracle: "chase", Case: nc.Name,
+			Detail: fmt.Sprintf("error behavior diverged: serial=%v naive=%v", errSer, errRef),
+			Repro:  reproCase(nc),
+		}
+	}
+	if errSer != nil {
+		return nil // both agree the input is invalid
+	}
+	c = nc
+	if !homo.Isomorphic(ser, ref) {
+		mc := minimizeChase(c, divergeSerNaive)
+		mSer, _ := chase.ChaseSerial(mc.Src, mc.Ms...)
+		mRef, _ := NaiveChase(mc.Src, mc.Ms...)
+		detail := "ChaseSerial and NaiveChase outputs are not isomorphic"
+		repro := reproCase(mc)
+		if mSer != nil && mRef != nil {
+			repro += fmt.Sprintf("--- serial chase ---\n%s--- naive chase ---\n%s", mSer, mRef)
+		}
+		return &Failure{Oracle: "chase", Case: c.Name, Detail: detail, Repro: repro}
+	}
+	return nil
+}
+
+// divergeParSer reports whether the parallel/serial disagreement still
+// reproduces on the (shrunken) case.
+func divergeParSer(c *Case) bool {
+	ser, errS := chase.ChaseSerial(c.Src, c.Ms...)
+	var par *instance.Instance
+	var errP error
+	forceParallel(4, func() { par, errP = chase.Chase(c.Src, c.Ms...) })
+	if (errS == nil) != (errP == nil) {
+		return true
+	}
+	return errS == nil && par.String() != ser.String()
+}
+
+// divergeSerNaive reports whether the serial/naive disagreement still
+// reproduces on the (shrunken) case.
+func divergeSerNaive(c *Case) bool {
+	ser, errS := chase.ChaseSerial(c.Src, c.Ms...)
+	ref, errR := NaiveChase(c.Src, c.Ms...)
+	if (errS == nil) != (errR == nil) {
+		return true
+	}
+	return errS == nil && !homo.Isomorphic(ser, ref)
+}
+
+// minimizeChase greedily shrinks the case's source instance while the
+// divergence persists: it repeatedly tries removing one top-level
+// tuple (subtrees included) and keeps any removal that still
+// reproduces, until a fixpoint. The divergence predicate runs under
+// guard-free calls — a panic during minimization just stops shrinking.
+func minimizeChase(c *Case, diverges func(*Case) bool) *Case {
+	cur := c
+	stillDiverges := func(cand *Case) bool {
+		out := false
+		if guard(func() error { out = diverges(cand); return nil }) != nil {
+			return true // a panic is the repro
+		}
+		return out
+	}
+	for shrunk := true; shrunk; {
+		shrunk = false
+		for _, st := range cur.Src.Cat.TopLevel() {
+			n := cur.Src.Top(st).Len()
+			for i := 0; i < n; i++ {
+				cand := &Case{Name: cur.Name, Src: dropTopTuple(cur.Src, st, i), Ms: cur.Ms}
+				if stillDiverges(cand) {
+					cur = cand
+					shrunk = true
+					break // indexes shifted; rescan this set
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// dropTopTuple copies in without the idx-th tuple of st's top
+// occurrence.
+func dropTopTuple(in *instance.Instance, st *nr.SetType, idx int) *instance.Instance {
+	return filterTop(in, func(top *nr.SetType, i int) bool { return top != st || i != idx })
+}
+
+// filterTop copies in, keeping only the top-level tuples keep accepts
+// (by set type and position). Nested occurrences hang off surviving
+// tuples' SetRefs, so the copy walks them from the survivors.
+func filterTop(in *instance.Instance, keep func(st *nr.SetType, i int) bool) *instance.Instance {
+	out := instance.New(in.Cat)
+	var deepCopy func(dst *instance.SetVal, typ *nr.SetType, t *instance.Tuple)
+	deepCopy = func(dst *instance.SetVal, typ *nr.SetType, t *instance.Tuple) {
+		dst.Insert(t)
+		for _, f := range typ.SetFields {
+			ref, ok := t.Get(f).(*instance.SetRef)
+			if !ok {
+				continue
+			}
+			child := typ.Child(f)
+			childOcc := out.EnsureSet(child, ref)
+			if occ := in.Set(ref); occ != nil {
+				for _, ct := range occ.Tuples() {
+					deepCopy(childOcc, child, ct)
+				}
+			}
+		}
+	}
+	for _, top := range in.Cat.TopLevel() {
+		for i, t := range in.Top(top).Tuples() {
+			if keep(top, i) {
+				deepCopy(out.Top(top), top, t)
+			}
+		}
+	}
+	return out
+}
+
+// reproCase renders a case as text: the source instance and the
+// mappings in Muse document syntax.
+func reproCase(c *Case) string {
+	s := fmt.Sprintf("case %s\n--- source instance ---\n%s--- mappings ---\n", c.Name, c.Src)
+	for _, m := range c.Ms {
+		s += parser.FormatMapping(m) + "\n"
+	}
+	return s
+}

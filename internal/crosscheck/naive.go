@@ -1,0 +1,257 @@
+package crosscheck
+
+import (
+	"fmt"
+	"sort"
+
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/nr"
+)
+
+// NaiveChase is the reference chase: a deliberately independent
+// reimplementation of the Fig. 2 semantics that shares no evaluation
+// machinery with internal/chase. Assignments are enumerated by plain
+// nested loops with every for-satisfy equality checked only once all
+// variables are bound (generate-and-test, no indexes, no early join
+// pruning), and the target side is emitted by its own union-find pass
+// with its own Skolem-null naming scheme. The result is comparable to
+// Chase's only up to isomorphism — which is exactly what the oracle
+// checks, so a bug in Chase's indexing, predicate ordering, or null
+// naming cannot be masked by the reference sharing the same code path.
+//
+// Semantics under unset slots follows the defined rule (see
+// internal/chase/eval.go): an equality over an unset slot never holds.
+func NaiveChase(src *instance.Instance, ms ...*mapping.Mapping) (*instance.Instance, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("crosscheck: no mappings given")
+	}
+	tgtCat := ms[0].Tgt
+	out := instance.New(tgtCat)
+	for _, m := range ms {
+		if m.Tgt != tgtCat {
+			return nil, fmt.Errorf("crosscheck: mapping %s targets a different schema", m.Name)
+		}
+		if m.Ambiguous() {
+			return nil, fmt.Errorf("crosscheck: mapping %s is ambiguous", m.Name)
+		}
+		info, err := m.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		em, err := newNaiveEmitter(m, info)
+		if err != nil {
+			return nil, err
+		}
+		asg := make(map[string]*instance.Tuple, len(m.For))
+		if err := naiveEnumerate(src, m, info, 0, asg, func() error {
+			return em.emit(asg, out)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// naiveEnumerate binds the for-generators in declaration order by
+// scanning their full candidate pools, and tests the complete ForSat
+// conjunction at the leaf.
+func naiveEnumerate(src *instance.Instance, m *mapping.Mapping, info *mapping.Info, i int, asg map[string]*instance.Tuple, fn func() error) error {
+	if i >= len(m.For) {
+		for _, q := range m.ForSat {
+			lv := asg[q.L.Var].Get(q.L.Attr)
+			rv := asg[q.R.Var].Get(q.R.Attr)
+			if lv == nil || rv == nil || !instance.SameValue(lv, rv) {
+				return nil
+			}
+		}
+		return fn()
+	}
+	g := m.For[i]
+	var pool []*instance.Tuple
+	if g.Parent == "" {
+		pool = src.Top(info.SrcVars[g.Var]).Tuples()
+	} else {
+		ref, _ := asg[g.Parent].Get(g.Field).(*instance.SetRef)
+		if ref == nil {
+			return nil
+		}
+		occ := src.Set(ref)
+		if occ == nil {
+			return nil
+		}
+		pool = occ.Tuples()
+	}
+	for _, t := range pool {
+		asg[g.Var] = t
+		if err := naiveEnumerate(src, m, info, i+1, asg, fn); err != nil {
+			return err
+		}
+		delete(asg, g.Var)
+	}
+	return nil
+}
+
+// naiveEmitter materializes one mapping's target tuples. It recomputes
+// the exists-satisfy equality classes with its own union-find (keyed
+// by rendered expression, representative = lexicographically smallest
+// member — deliberately different from chase's pointer-chasing pick)
+// and names its Skolem nulls "NV_<mapping>_<rep>", so agreement with
+// Chase can only come from agreeing semantics, never shared naming.
+type naiveEmitter struct {
+	m    *mapping.Mapping
+	info *mapping.Info
+	// rep maps each target slot expression to its class representative.
+	rep map[mapping.Expr]mapping.Expr
+	// feeds lists, per class representative, the source expressions the
+	// where clause attaches to the class (all must agree at emit time).
+	feeds map[mapping.Expr][]mapping.Expr
+	// childSet resolves each (exists var, set field) to its set type.
+	childSet map[mapping.Expr]*nr.SetType
+	skolem   []mapping.Expr
+}
+
+func newNaiveEmitter(m *mapping.Mapping, info *mapping.Info) (*naiveEmitter, error) {
+	em := &naiveEmitter{
+		m: m, info: info,
+		feeds:    make(map[mapping.Expr][]mapping.Expr),
+		childSet: make(map[mapping.Expr]*nr.SetType),
+		skolem:   m.Poss(),
+	}
+
+	// Equality classes over every target atom slot, grown by the
+	// exists-satisfy equalities. A plain iterate-to-fixpoint merge over
+	// class sets keeps this independent of chase's union-find.
+	class := make(map[mapping.Expr]int)
+	var members [][]mapping.Expr
+	slot := func(e mapping.Expr) int {
+		if id, ok := class[e]; ok {
+			return id
+		}
+		class[e] = len(members)
+		members = append(members, []mapping.Expr{e})
+		return class[e]
+	}
+	for _, v := range info.TgtOrder {
+		for _, a := range info.TgtVars[v].Atoms {
+			slot(mapping.E(v, a))
+		}
+	}
+	for _, q := range m.ExistsSat {
+		li, ri := slot(q.L), slot(q.R)
+		if li == ri {
+			continue
+		}
+		for _, e := range members[ri] {
+			class[e] = li
+		}
+		members[li] = append(members[li], members[ri]...)
+		members[ri] = nil
+	}
+	em.rep = make(map[mapping.Expr]mapping.Expr, len(class))
+	for _, es := range members {
+		if len(es) == 0 {
+			continue
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].String() < es[j].String() })
+		for _, e := range es {
+			em.rep[e] = es[0]
+		}
+	}
+	for _, q := range m.Where {
+		r, ok := em.rep[q.R]
+		if !ok {
+			r = q.R
+			em.rep[q.R] = r
+		}
+		em.feeds[r] = append(em.feeds[r], q.L)
+	}
+
+	for _, v := range info.TgtOrder {
+		st := info.TgtVars[v]
+		for _, f := range st.SetFields {
+			if m.SKForSet(mapping.E(v, f)) == nil {
+				return nil, fmt.Errorf("crosscheck: mapping %s has no grouping function for %s.%s", m.Name, v, f)
+			}
+			child := st.Child(f)
+			if child == nil {
+				return nil, fmt.Errorf("crosscheck: mapping %s: cannot resolve target set %s.%s", m.Name, st.Path, f)
+			}
+			em.childSet[mapping.E(v, f)] = child
+		}
+	}
+	return em, nil
+}
+
+func naiveEval(asg map[string]*instance.Tuple, e mapping.Expr) instance.Value {
+	t := asg[e.Var]
+	if t == nil {
+		return nil
+	}
+	return t.Get(e.Attr)
+}
+
+func (em *naiveEmitter) emit(asg map[string]*instance.Tuple, out *instance.Instance) error {
+	// Multi-feed consistency: when several where-equalities reach one
+	// class, the assignment fires only if the fed values agree.
+	for _, fs := range em.feeds {
+		if len(fs) < 2 {
+			continue
+		}
+		first := naiveEval(asg, fs[0])
+		for _, f := range fs[1:] {
+			if !instance.SameValue(first, naiveEval(asg, f)) {
+				return nil
+			}
+		}
+	}
+	skArgs := make([]instance.Value, len(em.skolem))
+	for i, e := range em.skolem {
+		skArgs[i] = naiveEval(asg, e)
+	}
+	// One null per equality class per distinct Skolem argument vector.
+	nulls := make(map[mapping.Expr]*instance.Null)
+	built := make(map[string]*instance.Tuple, len(em.info.TgtOrder))
+	for _, v := range em.info.TgtOrder {
+		st := em.info.TgtVars[v]
+		t := instance.NewTuple(st)
+		for _, a := range st.Atoms {
+			rep := em.rep[mapping.E(v, a)]
+			if fs := em.feeds[rep]; len(fs) > 0 {
+				t.Put(a, naiveEval(asg, fs[0]))
+				continue
+			}
+			n := nulls[rep]
+			if n == nil {
+				n = instance.NewNull("NV_"+em.m.Name+"_"+rep.String(), skArgs...)
+				nulls[rep] = n
+			}
+			t.Put(a, n)
+		}
+		for _, f := range st.SetFields {
+			term := em.m.SKForSet(mapping.E(v, f)).SK
+			args := make([]instance.Value, len(term.Args))
+			for i, e := range term.Args {
+				args[i] = naiveEval(asg, e)
+			}
+			ref := instance.NewSetRef(term.Fn, args...)
+			t.Put(f, ref)
+			out.EnsureSet(em.childSet[mapping.E(v, f)], ref)
+		}
+		built[v] = t
+	}
+	for _, g := range em.m.Exists {
+		t := built[g.Var]
+		st := em.info.TgtVars[g.Var]
+		if g.Root != nil {
+			out.InsertTop(st, t)
+			continue
+		}
+		ref, ok := built[g.Parent].Get(g.Field).(*instance.SetRef)
+		if !ok {
+			return fmt.Errorf("crosscheck: %s.%s is not a SetID", g.Parent, g.Field)
+		}
+		out.Insert(st, ref, t)
+	}
+	return nil
+}

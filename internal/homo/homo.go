@@ -237,6 +237,9 @@ func (s *searcher) matchedTuples(ob obligation, prefix []*instance.Tuple) map[st
 		img := instance.NewTuple(ob.dst.Type)
 		ok := true
 		for label, v := range t.Vals {
+			if v == nil {
+				continue // unset slot: its image is unset too
+			}
 			iv := s.image(v)
 			if iv == nil {
 				ok = false

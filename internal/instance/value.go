@@ -130,7 +130,10 @@ func (s *SetRef) String() string {
 func NewSetRef(fn string, args ...Value) *SetRef { return &SetRef{Fn: fn, Args: args} }
 
 // appendTerm appends the canonical term encoding, composing argument
-// keys in place (no intermediate strings for Const arguments).
+// keys in place (no intermediate strings for Const arguments). Nil
+// arguments — Skolem terms over unset source slots — encode as empty,
+// like unset slots in Tuple.Key; every real value's key starts with a
+// kind byte, so empty is unambiguous.
 func appendTerm(b []byte, fn string, args []Value) []byte {
 	b = append(b, fn...)
 	b = append(b, '\x01')
@@ -138,7 +141,9 @@ func appendTerm(b []byte, fn string, args []Value) []byte {
 		if i > 0 {
 			b = append(b, '\x02')
 		}
-		b = a.appendKey(b)
+		if a != nil {
+			b = a.appendKey(b)
+		}
 	}
 	return append(b, '\x03')
 }
@@ -165,7 +170,11 @@ func writeTermDisplay(b *strings.Builder, fn string, args []Value) {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(a.String())
+		if a != nil {
+			b.WriteString(a.String())
+		} else {
+			b.WriteByte('_')
+		}
 	}
 	b.WriteByte(')')
 }

@@ -1,0 +1,88 @@
+package load_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"muse/internal/instance"
+	"muse/internal/load"
+	"muse/internal/nr"
+)
+
+// fuzzCatalog is the fixed schema the load fuzzers parse against: a
+// flat set for CSV plus a nested one (with a dotted record atom) so
+// the XML decoder's recursion and SetID plumbing get exercised.
+func fuzzCatalog() *nr.Catalog {
+	return nr.MustCatalog(nr.MustSchema("S", nr.Record(
+		nr.F("R", nr.SetOf(nr.Record(
+			nr.F("a", nr.StringType()),
+			nr.F("b", nr.StringType()),
+			nr.F("addr", nr.Record(nr.F("city", nr.StringType()))),
+			nr.F("Kids", nr.SetOf(nr.Record(nr.F("k", nr.StringType())))),
+		))),
+		nr.F("Q", nr.SetOf(nr.Record(nr.F("x", nr.StringType())))),
+	)))
+}
+
+// FuzzCSV feeds arbitrary bytes to the CSV loader: it must never
+// panic, and any instance it accepts must survive a write/reload
+// round trip with the same tuple count.
+func FuzzCSV(f *testing.F) {
+	f.Add([]byte("a,b\n1,2\n"), true)
+	f.Add([]byte("1,2,3\n4,5,6\n"), false)
+	f.Add([]byte("a,a\n1,2\n"), true)     // duplicate header
+	f.Add([]byte("b, a \nx,y\nz\n"), true) // ragged row
+	f.Add([]byte("a\n\"qu\"\"oted\"\n"), true)
+	f.Add([]byte("\xff\xfe,\x00\n"), false)
+	cat := fuzzCatalog()
+	f.Fuzz(func(t *testing.T, data []byte, header bool) {
+		in := instance.New(cat)
+		if err := load.CSV(in, "Q", bytes.NewReader(data), header); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := load.WriteCSV(in, "Q", &buf); err != nil {
+			t.Fatalf("WriteCSV failed on an accepted instance: %v", err)
+		}
+		in2 := instance.New(cat)
+		if err := load.CSV(in2, "Q", &buf, true); err != nil {
+			t.Fatalf("reloading written CSV failed: %v\n%s", err, buf.String())
+		}
+		st := cat.ByPath(nr.ParsePath("Q"))
+		if got, want := in2.Top(st).Len(), in.Top(st).Len(); got != want {
+			t.Fatalf("round trip changed tuple count: %d → %d\n%s", want, got, buf.String())
+		}
+	})
+}
+
+// FuzzXML feeds arbitrary bytes to the XML loader: it must never
+// panic, and any instance it accepts must survive a write/reparse
+// round trip with the same total tuple count (SetIDs are renumbered,
+// so only counts are comparable).
+func FuzzXML(f *testing.F) {
+	f.Add([]byte("<S><R><a>1</a><Kids><k>c</k></Kids></R></S>"))
+	f.Add([]byte("<S><R><addr><city>x</city></addr></R><Q><x>1</x></Q></S>"))
+	f.Add([]byte("<S><R><a>&lt;&amp;</a></R></S>"))
+	f.Add([]byte("<S><R><Kids></Kids><Kids><k>1</k></Kids></R></S>"))
+	f.Add([]byte("<S><nope/></S>"))
+	f.Add([]byte("<wrong></wrong>"))
+	cat := fuzzCatalog()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := load.XML(cat, bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := load.WriteXML(in, &buf); err != nil {
+			t.Fatalf("WriteXML failed on an accepted instance: %v", err)
+		}
+		in2, err := load.XML(cat, strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("reparsing written XML failed: %v\n%s", err, buf.String())
+		}
+		if got, want := in2.TupleCount(), in.TupleCount(); got != want {
+			t.Fatalf("round trip changed tuple count: %d → %d\n%s", want, got, buf.String())
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// TestCSVHeaderValidation is the table-driven regression suite for the
+// duplicate-header bug the crosscheck harness flushed out: with `a,a`
+// headers the later column silently overwrote the earlier one
+// (last-wins) instead of failing. Quoting and whitespace padding go
+// through encoding/csv + TrimSpace before duplicate detection, so
+// ` cid ` and `"cid"` collide with `cid`.
+func TestCSVHeaderValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    string
+		wantErr string // substring of the error; empty means success
+		check   func(t *testing.T, in *instance.Instance)
+	}{
+		{
+			name:    "plain duplicate",
+			data:    "cid,cid\n111,112\n",
+			wantErr: `duplicate header column "cid"`,
+		},
+		{
+			name:    "duplicate with distinct column between",
+			data:    "cid,cname,cid\n111,IBM,112\n",
+			wantErr: `duplicate header column "cid" (columns 1 and 3)`,
+		},
+		{
+			name:    "quoted duplicate",
+			data:    "\"cid\",cid\n111,112\n",
+			wantErr: `duplicate header column "cid"`,
+		},
+		{
+			name:    "whitespace-padded duplicate",
+			data:    " cid ,cid\n111,112\n",
+			wantErr: `duplicate header column "cid"`,
+		},
+		{
+			name:    "quoted whitespace-padded duplicate",
+			data:    "\" cid\",\tcid\n111,112\n",
+			wantErr: `duplicate header column "cid"`,
+		},
+		{
+			name: "whitespace-padded distinct columns load",
+			data: " cname , cid \nIBM,111\n",
+			check: func(t *testing.T, in *instance.Instance) {
+				st := in.Cat.ByPath(nr.ParsePath("Companies"))
+				got := in.Top(st).Tuples()[0]
+				if got.Get("cid").String() != "111" || got.Get("cname").String() != "IBM" {
+					t.Errorf("padded header mapping wrong: %s", got)
+				}
+			},
+		},
+		{
+			name: "strict subset leaves the rest unset",
+			data: "location\nAlmaden\nNY\n",
+			check: func(t *testing.T, in *instance.Instance) {
+				st := in.Cat.ByPath(nr.ParsePath("Companies"))
+				for _, tu := range in.Top(st).Tuples() {
+					if tu.Get("cid") != nil || tu.Get("cname") != nil {
+						t.Errorf("subset header set an unlisted atom: %s", tu)
+					}
+					if tu.Get("location") == nil {
+						t.Errorf("listed atom unset: %s", tu)
+					}
+				}
+			},
+		},
+		{
+			name:    "unknown column still rejected",
+			data:    "cid,bogus\n111,x\n",
+			wantErr: `header column "bogus" is not an attribute`,
+		},
+		{
+			name:    "empty column name rejected",
+			data:    "cid,\n111,x\n",
+			wantErr: `header column "" is not an attribute`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := instance.New(relCat())
+			err := CSV(in, "Companies", strings.NewReader(tc.data), true)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("CSV accepted %q, want error containing %q", tc.data, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %q, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.check != nil {
+				tc.check(t, in)
+			}
+		})
+	}
+}

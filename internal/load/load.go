@@ -12,9 +12,14 @@ import (
 )
 
 // CSV reads comma-separated rows into the named top-level set. When
-// header is true, the first row names the attributes (any order, a
-// subset of the set's atoms); otherwise values are positional over all
-// atoms.
+// header is true, the first row names the attributes: each column name
+// (whitespace-trimmed, quoting per encoding/csv) must be a distinct
+// attribute of the set — duplicate columns are rejected, since the
+// loader could only keep one of the conflicting values per row. The
+// header may name a strict subset of the set's atoms, in any order;
+// atoms not named stay unset on every loaded tuple (render as "_" and
+// never satisfy equalities). Without a header, values are positional
+// over all atoms.
 func CSV(in *instance.Instance, setPath string, r io.Reader, header bool) error {
 	st := in.Cat.ByPath(nr.ParsePath(setPath))
 	if st == nil {
@@ -38,11 +43,16 @@ func CSV(in *instance.Instance, setPath string, r io.Reader, header bool) error 
 		if first && header {
 			first = false
 			cols = make([]string, len(rec))
+			seen := make(map[string]int, len(rec))
 			for i, name := range rec {
 				name = strings.TrimSpace(name)
 				if !st.HasAtom(name) {
 					return fmt.Errorf("load: %s: header column %q is not an attribute", setPath, name)
 				}
+				if prev, dup := seen[name]; dup {
+					return fmt.Errorf("load: %s: duplicate header column %q (columns %d and %d)", setPath, name, prev+1, i+1)
+				}
+				seen[name] = i
 				cols[i] = name
 			}
 			continue
@@ -75,6 +85,19 @@ func WriteCSV(in *instance.Instance, setPath string, w io.Writer) error {
 			if v := t.Get(a); v != nil {
 				row[i] = v.String()
 			}
+		}
+		// A single empty column would serialize as a blank line, which
+		// csv readers (ours included) skip — the tuple would vanish on
+		// reload. Force quotes on that one degenerate shape.
+		if len(row) == 1 && row[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return err
+			}
+			continue
 		}
 		if err := cw.Write(row); err != nil {
 			return err

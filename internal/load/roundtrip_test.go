@@ -1,0 +1,40 @@
+package load
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"muse/internal/instance"
+	"muse/internal/nr"
+)
+
+// TestWriteCSVEmptySingleColumn is the minimized regression for the
+// round-trip bug FuzzCSV found (corpus: testdata/fuzz/FuzzCSV): a
+// single-column set holding an empty value serialized as a blank line,
+// which csv readers skip, so the tuple vanished on reload. The writer
+// must force quotes on that degenerate record.
+func TestWriteCSVEmptySingleColumn(t *testing.T) {
+	cat := nr.MustCatalog(nr.MustSchema("S", nr.Record(
+		nr.F("Q", nr.SetOf(nr.Record(nr.F("x", nr.StringType())))),
+	)))
+	in := instance.New(cat)
+	if err := CSV(in, "Q", strings.NewReader("0\n\"\"\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	st := cat.ByPath(nr.ParsePath("Q"))
+	if got := in.Top(st).Len(); got != 2 {
+		t.Fatalf("loaded %d tuples, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(in, "Q", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := instance.New(cat)
+	if err := CSV(out, "Q", bytes.NewReader(buf.Bytes()), true); err != nil {
+		t.Fatalf("reload: %v\n%s", err, buf.String())
+	}
+	if got := out.Top(st).Len(); got != 2 {
+		t.Fatalf("round trip kept %d tuples, want 2:\n%s", got, buf.String())
+	}
+}
