@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke server-smoke crosscheck fuzz-smoke bench-guard bench
+.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke bench-guard bench
 
-ci: vet build race race-retrieval bench-smoke obs-smoke server-smoke crosscheck fuzz-smoke
+ci: vet build race race-retrieval bench-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -85,6 +85,28 @@ server-smoke:
 		echo "server-smoke: session, metrics and graceful shutdown OK"; \
 	else \
 		echo "server-smoke: server did not come up"; kill $$pid 2>/dev/null; \
+	fi; \
+	rm -rf $$tmp; exit $$st
+
+# Load-test smoke: boot musesrv on an ephemeral port, fire a short
+# seeded museload burst (50 dialogs, mixed scenarios), and assert the
+# run had zero unexpected errors and produced a well-formed JSON
+# report (client and server latency quantiles present). The full-size
+# invocation lives in README "Load testing".
+loadtest-smoke:
+	@tmp=$$(mktemp -d); st=1; \
+	$(GO) build -o $$tmp/musesrv ./cmd/musesrv && \
+	$(GO) build -o $$tmp/museload ./cmd/museload && \
+	$$tmp/musesrv -addr 127.0.0.1:0 -addr-file $$tmp/addr -max-sessions 128 & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		$$tmp/museload -addr-file $$tmp/addr -seed 1 -concurrency 16 -dialogs 50 \
+			-report $$tmp/load.json && \
+		jq -e '.errors_total == 0 and .sessions.failed == 0 and .sessions.started == 50 and .steps.total >= 50 and .client_step_seconds.p95 > 0 and .server_step_seconds.p95 > 0 and .server_step_seconds.count >= 50' $$tmp/load.json >/dev/null && \
+		kill -TERM $$pid && wait $$pid && st=$$? && \
+		echo "loadtest-smoke: $$(jq -r '.steps.total' $$tmp/load.json) steps across 50 dialogs, 0 errors, report OK"; \
+	else \
+		echo "loadtest-smoke: server did not come up"; kill $$pid 2>/dev/null; \
 	fi; \
 	rm -rf $$tmp; exit $$st
 

@@ -1,0 +1,631 @@
+// Command museload is a deterministic-seeded load generator for
+// musesrv: it drives N concurrent scripted wizard dialogs over
+// HTTP/JSON — mixed scenarios, seeded answer policies, configurable
+// think times, an abandonment fraction — and reports sessions/sec,
+// steps/sec, error/409/503 rates, and p50/p95/p99 per-step latency
+// both as measured by the client and as read off the server's
+// /metrics histograms.
+//
+// Usage:
+//
+//	museload [-addr http://127.0.0.1:8080 | -addr-file FILE]
+//	         [-scenarios fig1,fig4] [-concurrency 64]
+//	         [-dialogs 200 | -duration 30s] [-seed 1]
+//	         [-think-min 0] [-think-max 0] [-abandon 0]
+//	         [-timeout 30s] [-report out.json]
+//
+// The workload is reproducible in the seed: scenario choice, answer
+// policy, think times, and abandonment decisions all derive from
+// -seed, so two runs against the same server replay identical dialog
+// scripts (latencies of course vary with the machine). The JSON
+// report is the trajectory format of BENCH_server_baseline.json; a
+// short seeded burst is CI's `make loadtest-smoke`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muse/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := parseFlags()
+
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	ld := &loader{cfg: cfg, client: client}
+	if err := ld.ping(); err != nil {
+		log.Fatalf("museload: server unreachable at %s: %v", cfg.Addr, err)
+	}
+
+	report := ld.run()
+	out := os.Stdout
+	if cfg.Report != "" {
+		f, err := os.Create(cfg.Report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if report.ErrorsTotal > 0 {
+		log.Printf("museload: %d unexpected errors (first: %s)", report.ErrorsTotal, firstOr(report.ErrorSample, "?"))
+		os.Exit(1)
+	}
+}
+
+func firstOr(s []string, def string) string {
+	if len(s) > 0 {
+		return s[0]
+	}
+	return def
+}
+
+// Config is the seeded workload definition, echoed into the report so
+// a snapshot is self-describing.
+type Config struct {
+	Addr        string        `json:"addr"`
+	Scenarios   []string      `json:"scenarios"`
+	Concurrency int           `json:"concurrency"`
+	Dialogs     int64         `json:"dialogs"`
+	Duration    time.Duration `json:"duration_ns"`
+	Seed        int64         `json:"seed"`
+	ThinkMin    time.Duration `json:"think_min_ns"`
+	ThinkMax    time.Duration `json:"think_max_ns"`
+	Abandon     float64       `json:"abandon"`
+	Timeout     time.Duration `json:"timeout_ns"`
+	Report      string        `json:"-"`
+}
+
+func parseFlags() Config {
+	var cfg Config
+	addr := flag.String("addr", "http://127.0.0.1:8080", "musesrv base URL")
+	addrFile := flag.String("addr-file", "", "read host:port from this file (musesrv -addr-file) instead of -addr")
+	scenarios := flag.String("scenarios", "fig1,fig4", "comma-separated scenario mix")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 64, "concurrent designers (one dialog each at a time)")
+	dialogs := flag.Int64("dialogs", 200, "total dialog budget (0 = unbounded, requires -duration)")
+	flag.DurationVar(&cfg.Duration, "duration", 0, "stop starting new dialogs after this long (0 = until -dialogs)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "workload seed (scenario mix, answers, think, abandonment)")
+	flag.DurationVar(&cfg.ThinkMin, "think-min", 0, "minimum designer think time per answer")
+	flag.DurationVar(&cfg.ThinkMax, "think-max", 0, "maximum designer think time per answer")
+	flag.Float64Var(&cfg.Abandon, "abandon", 0, "fraction of dialogs abandoned mid-way [0,1)")
+	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	flag.StringVar(&cfg.Report, "report", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	cfg.Dialogs = *dialogs
+	if cfg.Dialogs <= 0 && cfg.Duration <= 0 {
+		log.Fatal("museload: need a -dialogs budget or a -duration")
+	}
+	if cfg.ThinkMax < cfg.ThinkMin {
+		cfg.ThinkMax = cfg.ThinkMin
+	}
+	cfg.Addr = strings.TrimRight(*addr, "/")
+	if *addrFile != "" {
+		b, err := os.ReadFile(*addrFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Addr = "http://" + strings.TrimSpace(string(b))
+	}
+	if !strings.Contains(cfg.Addr, "://") {
+		cfg.Addr = "http://" + cfg.Addr
+	}
+	for _, s := range strings.Split(*scenarios, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			cfg.Scenarios = append(cfg.Scenarios, s)
+		}
+	}
+	if len(cfg.Scenarios) == 0 {
+		log.Fatal("museload: -scenarios is empty")
+	}
+	return cfg
+}
+
+// Report is the machine-readable outcome; BENCH_server_baseline.json
+// snapshots two of these (pre- and post-pass) plus a comment.
+type Report struct {
+	Recorded       string   `json:"recorded"`
+	Config         Config   `json:"config"`
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+	Sessions       Sessions `json:"sessions"`
+	Steps          Steps    `json:"steps"`
+	// ClientStepSeconds is measured around each step-producing request
+	// (create or answer) at the client.
+	ClientStepSeconds Quantiles `json:"client_step_seconds"`
+	// ServerStepSeconds is estimated from the muse_server_step_seconds
+	// histogram scraped off /metrics (handler-side wall time, no
+	// network or queueing).
+	ServerStepSeconds Quantiles        `json:"server_step_seconds"`
+	ServerCounters    map[string]int64 `json:"server_counters"`
+	ErrorsTotal       int64            `json:"errors_total"`
+	ErrorSample       []string         `json:"error_sample,omitempty"`
+}
+
+type Sessions struct {
+	Started     int64   `json:"started"`
+	Finished    int64   `json:"finished"`
+	Abandoned   int64   `json:"abandoned"`
+	Rejected503 int64   `json:"rejected_503"`
+	Busy409     int64   `json:"busy_409"`
+	Failed      int64   `json:"failed"`
+	PerSecond   float64 `json:"per_second"`
+}
+
+type Steps struct {
+	Total     int64   `json:"total"`
+	Answers   int64   `json:"answers"`
+	PerSecond float64 `json:"per_second"`
+}
+
+type Quantiles struct {
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	Count int64   `json:"count"`
+}
+
+// loader owns the shared run state; workers touch only atomics and
+// their own rng, so the workload stays deterministic per worker.
+type loader struct {
+	cfg    Config
+	client *http.Client
+
+	claimed   atomic.Int64 // dialogs handed out
+	started   atomic.Int64
+	finished  atomic.Int64
+	abandoned atomic.Int64
+	rejected  atomic.Int64
+	busy      atomic.Int64
+	failed    atomic.Int64
+	steps     atomic.Int64
+	answers   atomic.Int64
+	errs      atomic.Int64
+
+	errMu     sync.Mutex
+	errSample []string
+}
+
+func (ld *loader) ping() error {
+	resp, err := ld.client.Get(ld.cfg.Addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+func (ld *loader) noteErr(format string, args ...any) {
+	ld.errs.Add(1)
+	ld.errMu.Lock()
+	if len(ld.errSample) < 8 {
+		ld.errSample = append(ld.errSample, fmt.Sprintf(format, args...))
+	}
+	ld.errMu.Unlock()
+}
+
+func (ld *loader) run() *Report {
+	start := time.Now()
+	var deadline time.Time
+	if ld.cfg.Duration > 0 {
+		deadline = start.Add(ld.cfg.Duration)
+	}
+	lats := make([][]float64, ld.cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < ld.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every stream of randomness derives from (seed, worker):
+			// reruns replay the same scripts.
+			wk := &worker{
+				ld:  ld,
+				rng: rand.New(rand.NewSource(ld.cfg.Seed*1_000_003 + int64(w))),
+			}
+			for {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					break
+				}
+				if ld.cfg.Dialogs > 0 && ld.claimed.Add(1) > ld.cfg.Dialogs {
+					break
+				}
+				wk.dialog()
+			}
+			lats[w] = wk.lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	rep := &Report{
+		Recorded:       time.Now().UTC().Format("2006-01-02"),
+		Config:         ld.cfg,
+		ElapsedSeconds: elapsed.Seconds(),
+		Sessions: Sessions{
+			Started:     ld.started.Load(),
+			Finished:    ld.finished.Load(),
+			Abandoned:   ld.abandoned.Load(),
+			Rejected503: ld.rejected.Load(),
+			Busy409:     ld.busy.Load(),
+			Failed:      ld.failed.Load(),
+			PerSecond:   float64(ld.finished.Load()) / elapsed.Seconds(),
+		},
+		Steps: Steps{
+			Total:     ld.steps.Load(),
+			Answers:   ld.answers.Load(),
+			PerSecond: float64(ld.steps.Load()) / elapsed.Seconds(),
+		},
+		ClientStepSeconds: exactQuantiles(all),
+		ErrorsTotal:       ld.errs.Load(),
+		ErrorSample:       ld.errSample,
+	}
+	if err := ld.scrapeMetrics(rep); err != nil {
+		ld.noteErr("scraping /metrics: %v", err)
+		rep.ErrorsTotal = ld.errs.Load()
+		rep.ErrorSample = ld.errSample
+	}
+	return rep
+}
+
+// exactQuantiles computes exact sample quantiles client-side (the
+// server side interpolates from histogram buckets; comparing the two
+// sanity-checks the estimator under load).
+func exactQuantiles(lats []float64) Quantiles {
+	q := Quantiles{Count: int64(len(lats))}
+	if len(lats) == 0 {
+		return q
+	}
+	sort.Float64s(lats)
+	at := func(p float64) float64 {
+		i := int(p*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	sum := 0.0
+	for _, v := range lats {
+		sum += v
+	}
+	q.P50, q.P95, q.P99 = at(0.50), at(0.95), at(0.99)
+	q.Mean, q.Max = sum/float64(len(lats)), lats[len(lats)-1]
+	return q
+}
+
+// worker is one virtual designer: strictly one dialog at a time.
+type worker struct {
+	ld   *loader
+	rng  *rand.Rand
+	lats []float64
+}
+
+// wireStep is the part of the step envelope the answer policy needs.
+type wireStep struct {
+	Token string `json:"token"`
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	Step  struct {
+		Seq    int    `json:"seq"`
+		State  string `json:"state"`
+		Error  string `json:"error"`
+		Choice struct {
+			Choices []struct {
+				Values []string `json:"values"`
+			} `json:"choices"`
+		} `json:"choice"`
+	} `json:"step"`
+}
+
+// dialog runs one scripted session: create, answer until terminal (or
+// the seeded abandonment point), fetch the result, delete.
+func (wk *worker) dialog() {
+	ld := wk.ld
+	scenario := ld.cfg.Scenarios[wk.rng.Intn(len(ld.cfg.Scenarios))]
+	abandonAt := -1
+	if wk.rng.Float64() < ld.cfg.Abandon {
+		abandonAt = 1 + wk.rng.Intn(8)
+	}
+
+	status, step, err := wk.step("POST", "/v1/sessions", fmt.Sprintf(`{"scenario": %q}`, scenario))
+	switch {
+	case err != nil:
+		ld.noteErr("create: %v", err)
+		return
+	case status == http.StatusServiceUnavailable:
+		ld.rejected.Add(1)
+		return
+	case status != http.StatusCreated:
+		ld.noteErr("create: status %d code %s", status, step.Code)
+		return
+	}
+	ld.started.Add(1)
+	token := step.Token
+
+	for n := 1; ; n++ {
+		switch step.Step.State {
+		case "done":
+			wk.result(token)
+			ld.finished.Add(1)
+			wk.del(token)
+			return
+		case "failed":
+			ld.failed.Add(1)
+			wk.del(token)
+			return
+		}
+		if n == abandonAt {
+			ld.abandoned.Add(1)
+			wk.del(token)
+			return
+		}
+		wk.think()
+		var status int
+		var err error
+		status, step, err = wk.step("POST", "/v1/sessions/"+token+"/answer", wk.answerBody(step))
+		switch {
+		case err != nil:
+			ld.noteErr("answer: %v", err)
+			wk.del(token)
+			return
+		case status == http.StatusConflict:
+			// Backpressure, not an error: some other client holds the
+			// session (never this tool's own doing — one worker per
+			// dialog — but a shared server can race us).
+			ld.busy.Add(1)
+			wk.del(token)
+			return
+		case status != http.StatusOK:
+			ld.noteErr("answer: status %d code %s error %q", status, step.Code, step.Error)
+			wk.del(token)
+			return
+		}
+		ld.answers.Add(1)
+	}
+}
+
+// answerBody derives the seeded answer for the pending question:
+// grouping questions get a fair coin over the two scenarios; choice
+// questions select one alternative per or-group, occasionally two
+// (which keeps several interpretations and splits the mapping —
+// deliberately the expensive path).
+func (wk *worker) answerBody(step wireStep) string {
+	if step.Step.State == "grouping_question" {
+		return fmt.Sprintf(`{"scenario": %d}`, 1+wk.rng.Intn(2))
+	}
+	var b strings.Builder
+	b.WriteString(`{"choices": [`)
+	for gi, g := range step.Step.Choice.Choices {
+		if gi > 0 {
+			b.WriteByte(',')
+		}
+		n := len(g.Values)
+		first := wk.rng.Intn(n)
+		if n >= 2 && wk.rng.Float64() < 0.15 {
+			second := (first + 1 + wk.rng.Intn(n-1)) % n
+			fmt.Fprintf(&b, "[%d,%d]", first, second)
+		} else {
+			fmt.Fprintf(&b, "[%d]", first)
+		}
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+func (wk *worker) think() {
+	if wk.ld.cfg.ThinkMax <= 0 {
+		return
+	}
+	d := wk.ld.cfg.ThinkMin
+	if span := wk.ld.cfg.ThinkMax - wk.ld.cfg.ThinkMin; span > 0 {
+		d += time.Duration(wk.rng.Int63n(int64(span)))
+	}
+	time.Sleep(d)
+}
+
+// step issues one step-producing request, recording its latency.
+func (wk *worker) step(method, path, body string) (int, wireStep, error) {
+	var out wireStep
+	start := time.Now()
+	status, data, err := wk.do(method, path, body)
+	lat := time.Since(start).Seconds()
+	if err != nil {
+		return 0, out, err
+	}
+	wk.lats = append(wk.lats, lat)
+	wk.ld.steps.Add(1)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return status, out, fmt.Errorf("decoding %s %s: %w", method, path, err)
+	}
+	return status, out, nil
+}
+
+func (wk *worker) result(token string) {
+	status, _, err := wk.do("GET", "/v1/sessions/"+token+"/result", "")
+	if err != nil {
+		wk.ld.noteErr("result: %v", err)
+	} else if status != http.StatusOK {
+		wk.ld.noteErr("result: status %d", status)
+	}
+}
+
+func (wk *worker) del(token string) {
+	// Best-effort cleanup; the server's TTL sweep catches stragglers.
+	wk.do("DELETE", "/v1/sessions/"+token, "")
+}
+
+func (wk *worker) do(method, path, body string) (int, []byte, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, wk.ld.cfg.Addr+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := wk.ld.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// scrapeMetrics reads /metrics and fills the server-side view: the
+// step-latency quantiles (estimated from the histogram buckets with
+// the same interpolation the server's own WriteText uses) and the
+// muse_server_* counters.
+func (ld *loader) scrapeMetrics(rep *Report) error {
+	resp, err := ld.client.Get(ld.cfg.Addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	hists, counters, err := parseProm(resp.Body)
+	if err != nil {
+		return err
+	}
+	rep.ServerCounters = make(map[string]int64)
+	for name, v := range counters {
+		if strings.HasPrefix(name, "muse_server_") {
+			rep.ServerCounters[name] = int64(v)
+		}
+	}
+	h, ok := hists[obs.HSrvStepSeconds]
+	if !ok {
+		return fmt.Errorf("no %s histogram on /metrics", obs.HSrvStepSeconds)
+	}
+	buckets := h.nonCumulative()
+	rep.ServerStepSeconds = Quantiles{
+		P50:   obs.QuantileFromBuckets(h.bounds, buckets, 0.50),
+		P95:   obs.QuantileFromBuckets(h.bounds, buckets, 0.95),
+		P99:   obs.QuantileFromBuckets(h.bounds, buckets, 0.99),
+		Count: h.count,
+	}
+	if h.count > 0 {
+		rep.ServerStepSeconds.Mean = h.sum / float64(h.count)
+	}
+	return nil
+}
+
+// promHist is one histogram reassembled from `_bucket{le="…"}` lines.
+type promHist struct {
+	bounds []float64 // finite bounds, ascending
+	cum    []int64   // cumulative counts per finite bound
+	inf    int64     // the +Inf cumulative count
+	sum    float64
+	count  int64
+}
+
+// nonCumulative converts to the per-bucket layout QuantileFromBuckets
+// wants (finite buckets plus one overflow).
+func (h *promHist) nonCumulative() []int64 {
+	out := make([]int64, len(h.cum)+1)
+	prev := int64(0)
+	for i, c := range h.cum {
+		out[i] = c - prev
+		prev = c
+	}
+	out[len(h.cum)] = h.inf - prev
+	return out
+}
+
+// parseProm reads a Prometheus text exposition, returning histograms
+// and scalar metrics (counters and gauges). Only the subset WriteText
+// emits is understood, which is all museload scrapes.
+func parseProm(r io.Reader) (map[string]*promHist, map[string]float64, error) {
+	hists := make(map[string]*promHist)
+	scalars := make(map[string]float64)
+	hist := func(name string) *promHist {
+		h, ok := hists[name]
+		if !ok {
+			h = &promHist{}
+			hists[name] = h
+		}
+		return h
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		switch {
+		case strings.Contains(name, "_bucket{le="):
+			base, leRaw, _ := strings.Cut(name, "_bucket{le=")
+			le := strings.Trim(strings.TrimSuffix(leRaw, "}"), `"`)
+			h := hist(base)
+			if le == "+Inf" {
+				h.inf = int64(val)
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parsing bound in %q: %w", line, err)
+			}
+			h.bounds = append(h.bounds, bound)
+			h.cum = append(h.cum, int64(val))
+		case strings.HasSuffix(name, "_sum") && hists[strings.TrimSuffix(name, "_sum")] != nil:
+			hist(strings.TrimSuffix(name, "_sum")).sum = val
+		case strings.HasSuffix(name, "_count") && hists[strings.TrimSuffix(name, "_count")] != nil:
+			hist(strings.TrimSuffix(name, "_count")).count = int64(val)
+		default:
+			scalars[name] = val
+		}
+	}
+	return hists, scalars, sc.Err()
+}

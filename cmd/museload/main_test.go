@@ -1,0 +1,106 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"muse/internal/obs"
+)
+
+// TestParsePromRoundTrip feeds a registry's own WriteText output to
+// the scraper and checks the reassembled histogram yields the same
+// quantile estimates as the live histogram.
+func TestParsePromRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("muse_server_answers_total").Add(41)
+	r.Gauge("muse_server_sessions_live").Set(7)
+	h := r.Histogram("muse_server_step_seconds", obs.SrvStepSecondsBounds...)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000 * 0.02) // 20µs..20ms
+	}
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hists, scalars, err := parseProm(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalars["muse_server_answers_total"] != 41 || scalars["muse_server_sessions_live"] != 7 {
+		t.Errorf("scalars wrong: %v", scalars)
+	}
+	ph, ok := hists["muse_server_step_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from scrape")
+	}
+	if ph.count != 1000 {
+		t.Errorf("count = %d, want 1000", ph.count)
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		want := h.Quantile(p)
+		got := obs.QuantileFromBuckets(ph.bounds, ph.nonCumulative(), p)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("scraped Quantile(%g) = %g, live = %g", p, got, want)
+		}
+	}
+}
+
+func TestExactQuantiles(t *testing.T) {
+	var lats []float64
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, float64(i))
+	}
+	// Shuffle deterministically; exactQuantiles sorts.
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(lats), func(i, j int) { lats[i], lats[j] = lats[j], lats[i] })
+	q := exactQuantiles(lats)
+	if q.P50 != 50 || q.P95 != 95 || q.P99 != 99 || q.Max != 100 || q.Count != 100 {
+		t.Errorf("quantiles wrong: %+v", q)
+	}
+	if math.Abs(q.Mean-50.5) > 1e-9 {
+		t.Errorf("mean = %g, want 50.5", q.Mean)
+	}
+	if z := exactQuantiles(nil); z.Count != 0 || z.P50 != 0 {
+		t.Errorf("empty quantiles: %+v", z)
+	}
+}
+
+// TestAnswerBodyDeterministic pins the seeded answer policy: the same
+// seed replays the same answers, and choice answers are always valid
+// (non-empty distinct in-range selections per group).
+func TestAnswerBodyDeterministic(t *testing.T) {
+	mk := func(seed int64) []string {
+		wk := &worker{rng: rand.New(rand.NewSource(seed))}
+		var step wireStep
+		step.Step.State = "grouping_question"
+		var out []string
+		for i := 0; i < 10; i++ {
+			out = append(out, wk.answerBody(step))
+		}
+		step.Step.State = "choice_question"
+		step.Step.Choice.Choices = []struct {
+			Values []string `json:"values"`
+		}{{Values: []string{"a", "b", "c"}}, {Values: []string{"x"}}}
+		for i := 0; i < 10; i++ {
+			out = append(out, wk.answerBody(step))
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("answer %d diverged under one seed: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if c := mk(43); strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Error("different seeds produced identical scripts (policy ignores the seed?)")
+	}
+	// Single-value groups can never select two.
+	for _, s := range a[10:] {
+		if !strings.HasSuffix(s, ",[0]]}") {
+			t.Errorf("invalid selection for a 1-value group: %q", s)
+		}
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	musesrv [-addr :8080] [-max-sessions 64] [-session-ttl 30m]
+//	musesrv [-addr :8080] [-max-sessions 64] [-session-ttl 30m (alias -ttl)]
 //	        [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
 //
 // With no -doc the server offers the built-in paper scenarios "fig1"
@@ -41,6 +41,7 @@ func main() {
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions (idle LRU sessions are evicted past it)")
 	sessionTTL := flag.Duration("session-ttl", server.DefaultTTL, "idle session lifetime (0 disables expiry)")
+	flag.DurationVar(sessionTTL, "ttl", server.DefaultTTL, "alias for -session-ttl")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	docPath := flag.String("doc", "", "Muse document to serve as a scenario (optional)")
 	src := flag.String("src", "", "source schema name (with -doc)")

@@ -62,7 +62,16 @@ const (
 	MSrvAnswers          = "muse_server_answers_total"           // answers accepted
 	MSrvInvalidAnswers   = "muse_server_invalid_answers_total"   // answers rejected with 400/422
 	GSrvSessionsLive     = "muse_server_sessions_live"           // sessions currently held
+	HSrvStepSeconds      = "muse_server_step_seconds"            // wall time to compute+render one step
 )
+
+// SrvStepSecondsBounds buckets the server's per-step latency
+// histogram: finer than DefSecondsBounds in the 100µs–100ms band the
+// wizard steps live in, so the interpolated p50/p95/p99 estimates stay
+// tight where the mass is.
+var SrvStepSecondsBounds = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
 
 // Span names. Dotted `component.operation` scheme; attributes are
 // lower_snake_case.

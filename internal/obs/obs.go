@@ -95,6 +95,61 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the p-quantile (p in [0,1]) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank — the same estimate Prometheus's histogram_quantile
+// computes server-side. The lowest bucket interpolates up from zero; a
+// rank landing in the +Inf overflow bucket reports the highest finite
+// bound (the estimate cannot exceed the bucketing). Returns NaN on an
+// empty histogram and on the nil Histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return QuantileFromBuckets(h.bounds, counts, p)
+}
+
+// QuantileFromBuckets estimates the p-quantile of a bucketed
+// distribution: bounds are ascending finite upper bounds, buckets are
+// the per-bucket (non-cumulative) counts with one final +Inf overflow
+// bucket (len(buckets) == len(bounds)+1). This is the computation
+// behind Histogram.Quantile, exported so clients that scrape
+// `_bucket{le=...}` lines off /metrics (cmd/museload) estimate
+// quantiles identically to the serving process.
+func QuantileFromBuckets(bounds []float64, buckets []int64, p float64) float64 {
+	if len(bounds) == 0 || len(buckets) != len(bounds)+1 {
+		return math.NaN()
+	}
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	p = math.Min(math.Max(p, 0), 1)
+	rank := p * float64(total)
+	var cum int64
+	for i, c := range buckets {
+		if float64(cum+c) >= rank && c > 0 {
+			if i == len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			return lo + (bounds[i]-lo)*((rank-float64(cum))/float64(c))
+		}
+		cum += c
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Kind distinguishes metric types in a Snapshot.
 type Kind uint8
 
@@ -128,6 +183,15 @@ type Metric struct {
 	Sum     float64
 	Bounds  []float64
 	Buckets []int64
+}
+
+// Quantile estimates the p-quantile of a histogram Metric (NaN for
+// counter/gauge entries and empty histograms). See Histogram.Quantile.
+func (m Metric) Quantile(p float64) float64 {
+	if m.Kind != KindHistogram {
+		return math.NaN()
+	}
+	return QuantileFromBuckets(m.Bounds, m.Buckets, p)
 }
 
 // Registry is a process-local set of named metrics. All methods are
@@ -280,6 +344,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
 				m.Name, cum, m.Name, m.Sum, m.Name, m.Count); err != nil {
 				return err
+			}
+			// Estimated quantiles as a comment line (Prometheus parsers
+			// skip comments), so operators read latency off /metrics
+			// without post-processing.
+			if m.Count > 0 {
+				if _, err := fmt.Fprintf(w, "# %s p50=%g p95=%g p99=%g\n",
+					m.Name, m.Quantile(0.50), m.Quantile(0.95), m.Quantile(0.99)); err != nil {
+					return err
+				}
 			}
 		}
 	}

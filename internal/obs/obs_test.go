@@ -51,6 +51,83 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 }
 
+// TestQuantile checks the interpolated estimator against
+// distributions whose quantiles are known exactly.
+func TestQuantile(t *testing.T) {
+	// Uniform over (0,1]: bucket edges at quartiles make the linear
+	// interpolation exact at every probed quantile (250 observations
+	// per bucket; le bounds are inclusive).
+	r := NewRegistry()
+	u := r.Histogram("u", 0.25, 0.5, 0.75, 1.0)
+	for i := 1; i <= 1000; i++ {
+		u.Observe(float64(i) / 1000)
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.50, 0.50}, {0.95, 0.95}, {0.99, 0.99}, {0.25, 0.25}, {1.0, 1.0},
+	} {
+		if got := u.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("uniform Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+
+	// All mass in the first bucket interpolates up from zero.
+	lo := r.Histogram("lo", 1.0, 2.0)
+	for i := 0; i < 4; i++ {
+		lo.Observe(0.1)
+	}
+	if got := lo.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("first-bucket Quantile(0.5) = %g, want 0.5", got)
+	}
+
+	// Mass beyond the last finite bound is clamped to it.
+	hi := r.Histogram("hi", 1.0, 2.0)
+	hi.Observe(100)
+	if got := hi.Quantile(0.99); got != 2.0 {
+		t.Errorf("overflow Quantile(0.99) = %g, want the top bound 2", got)
+	}
+
+	// Empty histogram and the nil Histogram report NaN.
+	if got := r.Histogram("empty", 1).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %g, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil Quantile = %g, want NaN", got)
+	}
+
+	// Malformed inputs and non-histogram metrics report NaN.
+	if got := QuantileFromBuckets([]float64{1}, []int64{1}, 0.5); !math.IsNaN(got) {
+		t.Errorf("mismatched buckets Quantile = %g, want NaN", got)
+	}
+	if got := (Metric{Kind: KindCounter, Value: 3}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("counter Metric.Quantile = %g, want NaN", got)
+	}
+
+	// The snapshot-level estimator agrees with the live histogram.
+	for _, m := range r.Snapshot() {
+		if m.Name == "u" {
+			if got := m.Quantile(0.95); math.Abs(got-0.95) > 1e-9 {
+				t.Errorf("snapshot Quantile(0.95) = %g, want 0.95", got)
+			}
+		}
+	}
+}
+
+// TestQuantileSkewed pins the estimator on a known non-uniform
+// distribution: 90 observations in (0,1], 10 in (1,10].
+func TestQuantileSkewed(t *testing.T) {
+	bounds := []float64{1, 10}
+	buckets := []int64{90, 10, 0}
+	// p50: rank 50 of 100 lands in the first bucket at 50/90 of it.
+	if got, want := QuantileFromBuckets(bounds, buckets, 0.50), 50.0/90.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("skewed p50 = %g, want %g", got, want)
+	}
+	// p95: rank 95 lands in (1,10] at (95-90)/10 of the way.
+	if got, want := QuantileFromBuckets(bounds, buckets, 0.95), 1+9*0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("skewed p95 = %g, want %g", got, want)
+	}
+}
+
 func TestGetAndSnapshotSorted(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b").Add(2)
@@ -83,6 +160,10 @@ func TestWriteText(t *testing.T) {
 		`muse_h_bucket{le="+Inf"} 1`,
 		"muse_h_sum 5\n",
 		"muse_h_count 1\n",
+		// Estimated quantiles ride along as a comment line.
+		"# muse_h p50=",
+		" p95=",
+		" p99=",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q in:\n%s", want, out)

@@ -1,0 +1,122 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"muse/internal/obs"
+	"muse/internal/server"
+)
+
+// fig1Script is the walkthrough answer sequence for the Fig. 1
+// scenario with the Companies(cid) key: an 11-question Muse-G dialog
+// landing on SKProjects(c.cname).
+var fig1Script = []int{2, 1, 2, 2, 2, 2, 1, 2, 2, 2, 2}
+
+// nullRW is a ResponseWriter that discards the body, so the benchmarks
+// measure the server's own allocations, not a recorder's buffer
+// growth.
+type nullRW struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullRW) Header() http.Header         { return w.h }
+func (w *nullRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullRW) WriteHeader(c int)           { w.code = c }
+
+func benchRequest(b *testing.B, h http.Handler, method, path, body string) int {
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := &nullRW{h: make(http.Header, 2)}
+	h.ServeHTTP(w, req)
+	return w.code
+}
+
+// createSession starts a fig1 session and returns its token (this one
+// request needs the body, so it uses a recorder).
+func createSession(b *testing.B, h http.Handler) string {
+	req := httptest.NewRequest("POST", "/v1/sessions", strings.NewReader(`{"scenario": "fig1"}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		b.Fatalf("create: %d %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Token string `json:"token"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		b.Fatal(err)
+	}
+	return resp.Token
+}
+
+// BenchmarkServerDialog drives complete scripted fig1 dialogs through
+// the full HTTP stack (mux, manager, Stepper, wizard, render, JSON)
+// and reports per-step cost: each op is one step-producing request
+// (the create or one answer), so it includes the wizard work of
+// computing each question. Compare against BENCH_server_baseline.json.
+func BenchmarkServerDialog(b *testing.B) {
+	mg := server.NewManager(server.Builtin(), obs.New())
+	mg.MaxSessions = 16
+	defer mg.Close()
+	h := server.New(mg)
+	// Warm the shared index store outside the timed region.
+	tok := createSession(b, h)
+	benchRequest(b, h, "DELETE", "/v1/sessions/"+tok, "")
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	token, k := "", 0
+	for i := 0; i < b.N; i++ {
+		if token == "" {
+			token = createSession(b, h)
+			k = 0
+			continue
+		}
+		if code := benchRequest(b, h, "POST", "/v1/sessions/"+token+"/answer",
+			fmt.Sprintf(`{"scenario": %d}`, fig1Script[k])); code != http.StatusOK {
+			b.Fatalf("answer %d: status %d", k, code)
+		}
+		if k++; k == len(fig1Script) {
+			benchRequest(b, h, "DELETE", "/v1/sessions/"+token, "")
+			token = ""
+		}
+	}
+	b.StopTimer()
+	if token != "" {
+		benchRequest(b, h, "DELETE", "/v1/sessions/"+token, "")
+	}
+}
+
+// BenchmarkServerStep measures the wire path proper: serving one step
+// whose question is already computed (a GET of the pending question) —
+// manager token lookup, step rendering, and JSON encoding, with zero
+// wizard work. This is the wire-path acceptance benchmark of the
+// museload PR (the wizard compute inside BenchmarkServerDialog has its
+// own benchmarks and baselines from the chase/retrieval passes);
+// compare against BENCH_server_baseline.json.
+func BenchmarkServerStep(b *testing.B) {
+	mg := server.NewManager(server.Builtin(), obs.New())
+	defer mg.Close()
+	h := server.New(mg)
+	token := createSession(b, h)
+	defer benchRequest(b, h, "DELETE", "/v1/sessions/"+token, "")
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchRequest(b, h, "GET", "/v1/sessions/"+token, ""); code != http.StatusOK {
+			b.Fatalf("question: status %d", code)
+		}
+	}
+}

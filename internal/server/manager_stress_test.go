@@ -1,0 +1,94 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"muse/internal/obs"
+	"muse/internal/server"
+)
+
+// TestManagerStressRace hammers one small manager with concurrent
+// create/acquire/delete under eviction pressure (MaxSessions far below
+// the worker count, a tiny TTL). Run under -race this is the
+// manager's concurrency acceptance test. Invariants checked:
+//
+//   - a busy (acquired) session is never evicted: looking its token up
+//     from another goroutine yields ErrSessionBusy, never ErrNoSession;
+//   - token lookups never return a deleted or foreign session: after
+//     Delete a token stays ErrNoSession forever (tokens are unique),
+//     and an Acquire that succeeds returns the session it named;
+//   - every create either succeeds or reports ErrFull, nothing else.
+func TestManagerStressRace(t *testing.T) {
+	mg := server.NewManager(server.Builtin(), obs.New())
+	mg.MaxSessions = 4
+	mg.TTL = 30 * time.Millisecond
+	defer mg.Close()
+
+	const workers = 8
+	deadline := time.Now().Add(2 * time.Second)
+	if testing.Short() {
+		deadline = time.Now().Add(300 * time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(deadline) {
+				s, err := mg.Create(context.Background(), "fig4")
+				if errors.Is(err, server.ErrFull) {
+					continue // backpressure, not a bug
+				}
+				if err != nil {
+					t.Errorf("worker %d: create: %v", w, err)
+					return
+				}
+				token := s.Token
+
+				// While we hold the session it is busy: a concurrent
+				// lookup must see it (busy), never a hole (evicted).
+				if _, err := mg.Acquire(token); !errors.Is(err, server.ErrSessionBusy) {
+					t.Errorf("worker %d: busy session lookup = %v, want ErrSessionBusy", w, err)
+				}
+				s.Release()
+
+				// After release the session is fair game for LRU/TTL
+				// eviction, so ErrNoSession is legal — but nobody else
+				// knows the token, so ErrSessionBusy is not, and a
+				// successful acquire must return the named session.
+				s2, err := mg.Acquire(token)
+				switch {
+				case err == nil:
+					if s2.Token != token {
+						t.Errorf("worker %d: Acquire(%s) returned session %s", w, token, s2.Token)
+					}
+					s2.Release()
+					if rng.Intn(2) == 0 {
+						if err := mg.Delete(token); err != nil && !errors.Is(err, server.ErrNoSession) {
+							t.Errorf("worker %d: delete: %v", w, err)
+						}
+						// Deleted tokens never resolve again.
+						if _, err := mg.Acquire(token); !errors.Is(err, server.ErrNoSession) {
+							t.Errorf("worker %d: deleted token resolved: %v", w, err)
+						}
+					}
+				case errors.Is(err, server.ErrNoSession):
+					// evicted while idle: allowed
+				default:
+					t.Errorf("worker %d: re-acquire: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := mg.Len(); n > mg.MaxSessions {
+		t.Errorf("manager holds %d sessions, bound is %d", n, mg.MaxSessions)
+	}
+}

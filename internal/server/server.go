@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"muse/internal/core"
 	"muse/internal/obs"
@@ -100,7 +101,16 @@ func (s *Server) writeStep(w http.ResponseWriter, sess *Session, step core.Step,
 	writeJSON(w, status, stepBody(sess, step))
 }
 
+// observeStep records the wall time one step-producing request took —
+// wizard work plus rendering — on the muse_server_step_seconds
+// histogram museload and operators read p50/p95/p99 from.
+func (s *Server) observeStep(start time.Time) {
+	s.Manager.reg().Histogram(obs.HSrvStepSeconds, obs.SrvStepSecondsBounds...).
+		Observe(time.Since(start).Seconds())
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	defer s.observeStep(time.Now())
 	var req struct {
 		Scenario string `json:"scenario"`
 	}
@@ -123,6 +133,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
+	defer s.observeStep(time.Now())
 	sess, err := s.Manager.Acquire(r.PathValue("token"))
 	if err != nil {
 		mapManagerErr(w, err)
@@ -138,6 +149,7 @@ func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	defer s.observeStep(time.Now())
 	var req struct {
 		Scenario int     `json:"scenario"`
 		Choices  [][]int `json:"choices"`
