@@ -7,7 +7,7 @@
 // Usage:
 //
 //	musesrv [-addr :8080] [-max-sessions 64] [-session-ttl 30m (alias -ttl)]
-//	        [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
+//	        [-prime=false] [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
 //
 // With no -doc the server offers the built-in paper scenarios "fig1"
 // and "fig4". A -doc flag adds the document's mapping set as a
@@ -43,6 +43,7 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", server.DefaultTTL, "idle session lifetime (0 disables expiry)")
 	flag.DurationVar(sessionTTL, "ttl", server.DefaultTTL, "alias for -session-ttl")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	prime := flag.Bool("prime", true, "build scenario indexes and warm the first question before serving")
 	docPath := flag.String("doc", "", "Muse document to serve as a scenario (optional)")
 	src := flag.String("src", "", "source schema name (with -doc)")
 	tgt := flag.String("tgt", "", "target schema name (with -doc)")
@@ -74,6 +75,11 @@ func main() {
 	mg := server.NewManager(scenarios, o)
 	mg.MaxSessions = *maxSessions
 	mg.TTL = *sessionTTL
+	if *prime {
+		t0 := time.Now()
+		mg.Prime(context.Background())
+		log.Printf("musesrv: primed %d scenario(s) in %v", len(scenarios), time.Since(t0).Round(time.Millisecond))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

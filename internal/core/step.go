@@ -115,6 +115,7 @@ func NewStepper(ctx context.Context, s *Session, set *mapping.Set) *Stepper {
 	}
 	st.install(ctx)
 	d := &chanDesigner{st: st}
+	d.p.reply = make(chan Answer)
 	go func() {
 		out, err := s.Run(set, d, d)
 		st.result, st.runErr = out, err
@@ -145,16 +146,27 @@ func (st *Stepper) install(reqCtx context.Context) {
 // chanDesigner implements GroupingDesigner and DisambiguationDesigner
 // by shipping each question to the stepper and blocking until the
 // answer arrives (or the stepper is closed).
-type chanDesigner struct{ st *Stepper }
+//
+// The envelope p and its reply channel are allocated once and reused
+// for every question: questions are strictly serialized (one pending
+// at a time), and each reuse is separated from the last by the
+// questions-send / reply-receive handoffs, whose happens-before edges
+// make the field rewrites safe. The question objects the envelope
+// points at are freshly built by the wizards each ask, so Step values
+// handed out earlier never alias a later question.
+type chanDesigner struct {
+	st *Stepper
+	p  pendingQ
+}
 
-func (d *chanDesigner) ask(p *pendingQ) (Answer, error) {
+func (d *chanDesigner) ask() (Answer, error) {
 	select {
-	case d.st.questions <- p:
+	case d.st.questions <- &d.p:
 	case <-d.st.lifetime.Done():
 		return Answer{}, d.st.lifetime.Err()
 	}
 	select {
-	case a := <-p.reply:
+	case a := <-d.p.reply:
 		return a, nil
 	case <-d.st.lifetime.Done():
 		return Answer{}, d.st.lifetime.Err()
@@ -163,7 +175,8 @@ func (d *chanDesigner) ask(p *pendingQ) (Answer, error) {
 
 // ChooseScenario implements GroupingDesigner.
 func (d *chanDesigner) ChooseScenario(q *GroupingQuestion) (int, error) {
-	a, err := d.ask(&pendingQ{g: q, reply: make(chan Answer)})
+	d.p.g, d.p.c = q, nil
+	a, err := d.ask()
 	if err != nil {
 		return 0, err
 	}
@@ -172,7 +185,8 @@ func (d *chanDesigner) ChooseScenario(q *GroupingQuestion) (int, error) {
 
 // SelectValues implements DisambiguationDesigner.
 func (d *chanDesigner) SelectValues(q *ChoiceQuestion) ([][]int, error) {
-	a, err := d.ask(&pendingQ{c: q, reply: make(chan Answer)})
+	d.p.g, d.p.c = nil, q
+	a, err := d.ask()
 	if err != nil {
 		return nil, err
 	}

@@ -179,6 +179,44 @@ func writeTermDisplay(b *strings.Builder, fn string, args []Value) {
 	b.WriteByte(')')
 }
 
+// AppendDisplay appends v's display rendering (exactly Value.String) to
+// b and returns the extended slice. Nil values append nothing. Hot
+// render paths (the HTTP server's direct JSON writer) use it to put
+// values into a reused buffer without the per-value string String
+// allocates.
+func AppendDisplay(b []byte, v Value) []byte {
+	switch t := v.(type) {
+	case nil:
+		return b
+	case Const:
+		return append(b, t.S...)
+	case *Null:
+		if len(t.Args) == 0 {
+			return append(b, t.Fn...)
+		}
+		return appendTermDisplay(b, t.Fn, t.Args)
+	case *SetRef:
+		return appendTermDisplay(b, t.Fn, t.Args)
+	}
+	return append(b, v.String()...)
+}
+
+func appendTermDisplay(b []byte, fn string, args []Value) []byte {
+	b = append(b, fn...)
+	b = append(b, '(')
+	for i, a := range args {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if a != nil {
+			b = AppendDisplay(b, a)
+		} else {
+			b = append(b, '_')
+		}
+	}
+	return append(b, ')')
+}
+
 // AppendValueKey appends v's canonical key to b and returns the
 // extended slice, without building an intermediate string. Nil values
 // append nothing.

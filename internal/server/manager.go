@@ -6,8 +6,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"muse/internal/core"
@@ -37,7 +37,8 @@ type Scenario struct {
 }
 
 // sharedStore returns the scenario's index store, built lazily on the
-// first session and attached to the registry for index metrics.
+// first session (or eagerly by Manager.Prime) and attached to the
+// registry for index metrics.
 func (sc *Scenario) sharedStore(reg *obs.Registry) *query.IndexStore {
 	sc.storeOnce.Do(func() {
 		if sc.Real != nil {
@@ -71,9 +72,10 @@ type Session struct {
 	Created time.Time
 
 	mu sync.Mutex
-	// lastUsed is guarded by the manager's lock, not mu: eviction scans
-	// read it without touching busy sessions.
-	lastUsed time.Time
+	// lastUsed is the unix-nano time of the last acquire, stored
+	// atomically: lookups refresh it under the manager's read lock, and
+	// eviction scans read it without per-session coordination.
+	lastUsed atomic.Int64
 	// finished flips once (under mu) when the dialog reaches a terminal
 	// step, so the finished counter counts dialogs, not polls.
 	finished bool
@@ -93,10 +95,13 @@ func (s *Session) MarkFinished(reg *obs.Registry) {
 
 // Manager owns the live sessions of a server: creation, token lookup,
 // deletion, and the two bounds — a maximum session count with
-// least-recently-used eviction, and an idle TTL swept on every create
-// and lookup. Only idle sessions (their per-session lock is free) are
-// ever evicted; a full manager whose sessions are all busy refuses
-// creations with ErrFull.
+// least-recently-used eviction, and an idle TTL. TTL sweeps are
+// amortized: at most one per TTL/8 (capped at 5s) across all
+// requests, so the lookup fast path stays on the read lock; an
+// expired session is therefore reclaimed on the first sweep after its
+// TTL lapses, not at the exact instant. Only idle sessions (their
+// per-session lock is free) are ever evicted; a full manager whose
+// sessions are all busy refuses creations with ErrFull.
 type Manager struct {
 	// MaxSessions bounds the live session count (default
 	// DefaultMaxSessions).
@@ -110,8 +115,17 @@ type Manager struct {
 	// Obs receives the muse_server_* metrics and spans; may be nil.
 	Obs *obs.Obs
 
-	mu       sync.Mutex
-	sessions map[string]*Session
+	mu        sync.RWMutex
+	sessions  map[string]*Session
+	lastSweep atomic.Int64 // unix nanos of the last TTL sweep
+
+	// Metric handles, resolved once in NewManager (nil-safe no-ops
+	// when Obs is nil) so the request path never takes the registry's
+	// mutex.
+	mRequests, mStarted, mRejected, mEvicted *obs.Counter
+	mAnswers, mInvalid                      *obs.Counter
+	gLive                                   *obs.Gauge
+	hStep                                   *obs.Histogram
 }
 
 // DefaultMaxSessions and DefaultTTL bound managers that don't choose.
@@ -122,16 +136,46 @@ const (
 
 // NewManager builds a manager over the given scenarios.
 func NewManager(scenarios map[string]*Scenario, o *obs.Obs) *Manager {
-	return &Manager{
+	mg := &Manager{
 		MaxSessions: DefaultMaxSessions,
 		TTL:         DefaultTTL,
 		Scenarios:   scenarios,
 		Obs:         o,
 		sessions:    make(map[string]*Session),
 	}
+	reg := mg.reg()
+	mg.mRequests = reg.Counter(obs.MSrvRequests)
+	mg.mStarted = reg.Counter(obs.MSrvSessionsStarted)
+	mg.mRejected = reg.Counter(obs.MSrvSessionsRejected)
+	mg.mEvicted = reg.Counter(obs.MSrvSessionsEvicted)
+	mg.mAnswers = reg.Counter(obs.MSrvAnswers)
+	mg.mInvalid = reg.Counter(obs.MSrvInvalidAnswers)
+	mg.gLive = reg.Gauge(obs.GSrvSessionsLive)
+	mg.hStep = reg.Histogram(obs.HSrvStepSeconds, obs.SrvStepSecondsBounds...)
+	return mg
 }
 
 func (mg *Manager) reg() *obs.Registry { return mg.Obs.Registry() }
+
+// Prime eagerly pays each scenario's first-session costs before
+// traffic arrives: the scenario-wide index store is built, and a
+// throwaway dialog is run up to its first question so the retrieval
+// indexes behind the opening probes are warm in the shared store. The
+// throwaway session is never registered (no token, no counters) and
+// leaves no state beyond the warmed store. ctx bounds the warm-up
+// work.
+func (mg *Manager) Prime(ctx context.Context) {
+	for _, sc := range mg.Scenarios {
+		store := sc.sharedStore(mg.reg())
+		cs := core.NewSession(sc.Deps, sc.Real)
+		cs.Grouping.Store = store
+		cs.Grouping.Prefetch = false
+		cs.Disambiguation.Store = store
+		st := core.NewStepper(ctx, cs, sc.Set)
+		_, _ = st.Step(ctx)
+		st.Close()
+	}
+}
 
 // newToken mints an unguessable session token.
 func newToken() string {
@@ -152,12 +196,15 @@ func (mg *Manager) Create(ctx context.Context, scenario string) (*Session, error
 	}
 	store := sc.sharedStore(mg.reg())
 
+	now := time.Now()
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
-	mg.sweepLocked(time.Now())
+	if mg.sweepDue(now) || len(mg.sessions) >= mg.max() {
+		mg.sweepLocked(now)
+	}
 	if len(mg.sessions) >= mg.max() {
 		if !mg.evictLRULocked() {
-			mg.reg().Counter(obs.MSrvSessionsRejected).Inc()
+			mg.mRejected.Inc()
 			return nil, ErrFull
 		}
 	}
@@ -173,32 +220,32 @@ func (mg *Manager) Create(ctx context.Context, scenario string) (*Session, error
 	s := &Session{
 		Token:        newToken(),
 		ScenarioName: scenario,
-		Created:      time.Now(),
-		lastUsed:     time.Now(),
+		Created:      now,
 	}
+	s.lastUsed.Store(now.UnixNano())
 	s.mu.Lock() // acquired for the caller; no contention possible yet
 	s.Stepper = core.NewStepper(ctx, cs, sc.Set)
 	mg.sessions[s.Token] = s
-	mg.reg().Counter(obs.MSrvSessionsStarted).Inc()
-	mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
+	mg.mStarted.Inc()
+	mg.gLive.Set(int64(len(mg.sessions)))
 	return s, nil
 }
 
 // Acquire looks a session up by token and locks it for the caller,
 // who must Release it. A session currently serving another request
 // yields ErrSessionBusy rather than queueing, keeping the manager's
-// lock out of wizard-length critical sections.
+// lock out of wizard-length critical sections. Lookups share the
+// manager's read lock; only a due TTL sweep takes the write lock.
 func (mg *Manager) Acquire(token string) (*Session, error) {
-	mg.mu.Lock()
-	mg.sweepLocked(time.Now())
+	now := time.Now()
+	mg.maybeSweep(now)
+	mg.mu.RLock()
 	s, ok := mg.sessions[token]
-	if ok {
-		s.lastUsed = time.Now()
-	}
-	mg.mu.Unlock()
+	mg.mu.RUnlock()
 	if !ok {
 		return nil, ErrNoSession
 	}
+	s.lastUsed.Store(now.UnixNano())
 	if !s.mu.TryLock() {
 		return nil, ErrSessionBusy
 	}
@@ -213,7 +260,7 @@ func (mg *Manager) Delete(token string) error {
 	s, ok := mg.sessions[token]
 	if ok {
 		delete(mg.sessions, token)
-		mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
+		mg.gLive.Set(int64(len(mg.sessions)))
 	}
 	mg.mu.Unlock()
 	if !ok {
@@ -234,7 +281,7 @@ func (mg *Manager) Close() {
 		all = append(all, s)
 	}
 	mg.sessions = make(map[string]*Session)
-	mg.reg().Gauge(obs.GSrvSessionsLive).Set(0)
+	mg.gLive.Set(0)
 	mg.mu.Unlock()
 	for _, s := range all {
 		s.Stepper.Close()
@@ -243,8 +290,8 @@ func (mg *Manager) Close() {
 
 // Len reports the live session count.
 func (mg *Manager) Len() int {
-	mg.mu.Lock()
-	defer mg.mu.Unlock()
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
 	return len(mg.sessions)
 }
 
@@ -255,15 +302,51 @@ func (mg *Manager) max() int {
 	return DefaultMaxSessions
 }
 
-// sweepLocked evicts idle sessions whose TTL has lapsed. Busy sessions
-// are skipped: their lastUsed refreshes on release of the next
-// Acquire, and a session cannot be torn down mid-request.
-func (mg *Manager) sweepLocked(now time.Time) {
+// sweepInterval is the amortization period between TTL sweeps: a
+// fraction of the TTL so expiry stays timely, capped so very long
+// TTLs still reclaim memory promptly.
+func (mg *Manager) sweepInterval() time.Duration {
+	iv := mg.TTL / 8
+	if iv > 5*time.Second {
+		iv = 5 * time.Second
+	}
+	return iv
+}
+
+func (mg *Manager) sweepDue(now time.Time) bool {
+	return mg.TTL > 0 && now.UnixNano()-mg.lastSweep.Load() >= int64(mg.sweepInterval())
+}
+
+// maybeSweep runs a TTL sweep when one is due. A CAS on the sweep
+// stamp elects a single sweeper, so concurrent lookups never pile up
+// behind the write lock.
+func (mg *Manager) maybeSweep(now time.Time) {
 	if mg.TTL <= 0 {
 		return
 	}
+	last := mg.lastSweep.Load()
+	if now.UnixNano()-last < int64(mg.sweepInterval()) {
+		return
+	}
+	if !mg.lastSweep.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	mg.mu.Lock()
+	mg.sweepLocked(now)
+	mg.mu.Unlock()
+}
+
+// sweepLocked evicts idle sessions whose TTL has lapsed and stamps the
+// sweep time. Busy sessions are skipped: their lastUsed refreshes on
+// the next Acquire, and a session cannot be torn down mid-request.
+func (mg *Manager) sweepLocked(now time.Time) {
+	mg.lastSweep.Store(now.UnixNano())
+	if mg.TTL <= 0 {
+		return
+	}
+	ttl := int64(mg.TTL)
 	for token, s := range mg.sessions {
-		if now.Sub(s.lastUsed) < mg.TTL {
+		if now.UnixNano()-s.lastUsed.Load() < ttl {
 			continue
 		}
 		if !s.mu.TryLock() {
@@ -272,30 +355,43 @@ func (mg *Manager) sweepLocked(now time.Time) {
 		delete(mg.sessions, token)
 		s.Stepper.Close()
 		s.mu.Unlock()
-		mg.reg().Counter(obs.MSrvSessionsEvicted).Inc()
+		mg.mEvicted.Inc()
 	}
-	mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
+	mg.gLive.Set(int64(len(mg.sessions)))
 }
 
 // evictLRULocked drops the least recently used idle session, reporting
 // whether it made room. The true LRU may be busy, in which case the
-// next oldest idle session goes; all busy means no room.
+// next oldest idle session goes; all busy means no room. The common
+// case — the oldest session is idle — is a single allocation-free
+// scan; only busy LRU candidates cost another pass.
 func (mg *Manager) evictLRULocked() bool {
-	byAge := make([]*Session, 0, len(mg.sessions))
-	for _, s := range mg.sessions {
-		byAge = append(byAge, s)
-	}
-	sort.Slice(byAge, func(i, j int) bool { return byAge[i].lastUsed.Before(byAge[j].lastUsed) })
-	for _, victim := range byAge {
-		if !victim.mu.TryLock() {
-			continue
+	var skip map[*Session]bool
+	for {
+		var victim *Session
+		var vts int64
+		for _, s := range mg.sessions {
+			if skip[s] {
+				continue
+			}
+			if ts := s.lastUsed.Load(); victim == nil || ts < vts {
+				victim, vts = s, ts
+			}
 		}
-		delete(mg.sessions, victim.Token)
-		victim.Stepper.Close()
-		victim.mu.Unlock()
-		mg.reg().Counter(obs.MSrvSessionsEvicted).Inc()
-		mg.reg().Gauge(obs.GSrvSessionsLive).Set(int64(len(mg.sessions)))
-		return true
+		if victim == nil {
+			return false
+		}
+		if victim.mu.TryLock() {
+			delete(mg.sessions, victim.Token)
+			victim.Stepper.Close()
+			victim.mu.Unlock()
+			mg.mEvicted.Inc()
+			mg.gLive.Set(int64(len(mg.sessions)))
+			return true
+		}
+		if skip == nil {
+			skip = make(map[*Session]bool)
+		}
+		skip[victim] = true
 	}
-	return false
 }

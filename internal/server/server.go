@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"muse/internal/core"
-	"muse/internal/obs"
 )
 
 // MaxBodyBytes bounds every request body; answers and session specs
@@ -49,7 +48,7 @@ func New(mg *Manager) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.Manager.reg().Counter(obs.MSrvRequests).Inc()
+	s.Manager.mRequests.Inc()
 	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	s.mux.ServeHTTP(w, r)
 }
@@ -93,20 +92,27 @@ func stepBody(s *Session, step core.Step) map[string]any {
 }
 
 // step runs one Stepper call under the request context and writes the
-// result, marking terminal dialogs in the metrics.
+// result, marking terminal dialogs in the metrics. The body is built
+// by the direct renderer (render_direct.go) in a pooled buffer —
+// byte-identical to the map-tree encoding stepBody describes, without
+// the tree or the reflection.
 func (s *Server) writeStep(w http.ResponseWriter, sess *Session, step core.Step, status int) {
 	if step.Done {
 		sess.MarkFinished(s.Manager.reg())
 	}
-	writeJSON(w, status, stepBody(sess, step))
+	jw := getJW()
+	appendStepBody(jw, sess, step)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(jw.bytes()) // nothing to do about a failed write
+	putJW(jw)
 }
 
 // observeStep records the wall time one step-producing request took —
 // wizard work plus rendering — on the muse_server_step_seconds
 // histogram museload and operators read p50/p95/p99 from.
 func (s *Server) observeStep(start time.Time) {
-	s.Manager.reg().Histogram(obs.HSrvStepSeconds, obs.SrvStepSecondsBounds...).
-		Observe(time.Since(start).Seconds())
+	s.Manager.hStep.Observe(time.Since(start).Seconds())
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -167,14 +173,14 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	step, err := sess.Stepper.Answer(r.Context(), core.Answer{Scenario: req.Scenario, Choices: req.Choices})
 	switch {
 	case errors.Is(err, core.ErrInvalidAnswer):
-		s.Manager.reg().Counter(obs.MSrvInvalidAnswers).Inc()
+		s.Manager.mInvalid.Inc()
 		writeError(w, http.StatusUnprocessableEntity, "invalid_answer", err)
 		return
 	case err != nil:
 		writeError(w, http.StatusGatewayTimeout, "cancelled", err)
 		return
 	}
-	s.Manager.reg().Counter(obs.MSrvAnswers).Inc()
+	s.Manager.mAnswers.Inc()
 	s.writeStep(w, sess, step, http.StatusOK)
 }
 
@@ -191,17 +197,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	step := sess.Stepper.Result()
 	sess.MarkFinished(s.Manager.reg())
-	if step.Err != nil {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"token": sess.Token, "scenario": sess.ScenarioName,
-			"state": "failed", "error": step.Err.Error(),
-		})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"token": sess.Token, "scenario": sess.ScenarioName,
-		"state": "done", "questions": step.Seq, "mappings": renderMappings(step.Result),
-	})
+	jw := getJW()
+	appendResult(jw, sess, step)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(jw.bytes()) // nothing to do about a failed write
+	putJW(jw)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
