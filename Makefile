@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-retrieval bench-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke bench-guard bench
+.PHONY: ci vet build test race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke bench-guard bench
 
-ci: vet build race race-retrieval bench-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke
+ci: vet build race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,8 +29,17 @@ race:
 race-retrieval:
 	$(GO) test -race -count=1 ./internal/query ./internal/core
 
+# The scaled SF2/SF5 benchmark is excluded here (it builds multi-GB
+# instances); bench-scaled-smoke runs its SF2 half on its own.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkChase|BenchmarkProbeRetrieval' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkChaseFig2$$|BenchmarkChaseScenario$$|BenchmarkChaseScenarioSerial$$|BenchmarkProbeRetrieval' -benchtime=1x .
+
+# Scaled-chase smoke: one SF2 TPCH chase with retained-heap reporting
+# (the "scenario firehose" shape). Catches bit-rot in the scaled
+# harness without paying for the SF5 sweep; full numbers live in
+# BENCH_instance_baseline.json.
+bench-scaled-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkChaseScenarioScaled/SF2' -benchtime=1x .
 
 # Cross-check harness: the four differential oracle families (chase,
 # query, wizard, server) over every builtin scenario plus seeded

@@ -32,6 +32,28 @@ type baselineFile struct {
 	} `json:"benchmarks"`
 }
 
+// instanceBaselineFile mirrors BENCH_instance_baseline.json: the
+// instance-layer memory pass snapshot, with pre (map-tuple, no
+// interning) and post (compact+interned) sections. The guard checks
+// against post.
+type instanceBaselineFile struct {
+	Pre  instanceBaselineSection `json:"pre"`
+	Post instanceBaselineSection `json:"post"`
+}
+
+type instanceBaselineSection struct {
+	Benchmarks map[string]struct {
+		BytesPerOp int64 `json:"bytes_per_op"`
+	} `json:"benchmarks"`
+}
+
+// bytesHeadroom is the slack multiplier for the bytes/op guard.
+// Unlike allocs/op, bytes/op wobbles a few percent run-to-run (map
+// bucket growth and slice doubling land differently across b.N), so
+// the guard flags regressions past 1.3x the recorded post baseline
+// rather than demanding byte-exact repeats.
+const bytesHeadroom = 1.3
+
 func loadBaseline(t *testing.T, path string) baselineFile {
 	t.Helper()
 	data, err := os.ReadFile(path)
@@ -100,7 +122,29 @@ func TestBenchGuard(t *testing.T) {
 		}
 	}
 
+	checkBytes := func(name string, got, want int64) {
+		if want == 0 {
+			t.Errorf("%s: no bytes_per_op baseline entry", name)
+			return
+		}
+		limit := int64(float64(want) * bytesHeadroom)
+		if got > limit {
+			t.Errorf("%s: %d bytes/op exceeds the instance-baseline %d (+%d%% headroom = %d)",
+				name, got, want, int(bytesHeadroom*100)-100, limit)
+		} else {
+			fmt.Printf("bench-guard %-40s %8d bytes/op  (baseline %d, limit %d)\n", name, got, want, limit)
+		}
+	}
+
 	chaseBase := loadBaseline(t, "BENCH_baseline.json")
+	instData, err := os.ReadFile("BENCH_instance_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instBase instanceBaselineFile
+	if err := json.Unmarshal(instData, &instBase); err != nil {
+		t.Fatalf("BENCH_instance_baseline.json: %v", err)
+	}
 	for _, s := range scenarios.All() {
 		ms, err := guardMappings(s)
 		if err != nil {
@@ -117,6 +161,7 @@ func TestBenchGuard(t *testing.T) {
 		})
 		name := "BenchmarkChaseScenario/" + s.Name
 		check(name, r.AllocsPerOp(), chaseBase.Benchmarks[name].AllocsPerOp)
+		checkBytes(name, r.AllocedBytesPerOp(), instBase.Post.Benchmarks[name].BytesPerOp)
 	}
 
 	retrBase := loadBaseline(t, "BENCH_retrieval_baseline.json")

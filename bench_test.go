@@ -10,6 +10,8 @@
 package muse_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"muse/internal/core"
 	"muse/internal/designer"
 	"muse/internal/homo"
+	"muse/internal/instance"
 	"muse/internal/mapping"
 	"muse/internal/scenarios"
 )
@@ -92,6 +95,60 @@ func BenchmarkChaseScenarioSerial(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// benchSink keeps benchmark results reachable across explicit GCs so
+// retained-heap measurements see them as live.
+var benchSink *instance.Instance
+
+// liveHeap forces a collection and returns the live heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// BenchmarkChaseScenarioScaled is the scenario-firehose configuration:
+// the TPCH chase at paper scale factors (SF2 = NewInstance(2), SF5),
+// two orders of magnitude above BenchmarkChaseScenario's 0.02. Besides
+// ns/op and allocs it reports two retained-heap metrics — the live
+// bytes held by the source instance and by the chase output after a
+// forced GC — which is what the instance-layer interning/compaction
+// pass targets (BENCH_instance_baseline.json tracks pre/post). Run
+// with -benchtime=1x; `make bench-scaled-smoke` covers SF2.
+func BenchmarkChaseScenarioScaled(b *testing.B) {
+	s, err := scenarios.ByName("TPCH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sf := range []float64{2, 5} {
+		sf := sf
+		b.Run(fmt.Sprintf("SF%d", int(sf)), func(b *testing.B) {
+			ms := scenarioMappings(b, s)
+			base := liveHeap()
+			in := s.NewInstance(sf)
+			benchSink = in
+			srcRetained := liveHeap() - base
+			b.ReportAllocs()
+			b.ResetTimer()
+			var out *instance.Instance
+			for i := 0; i < b.N; i++ {
+				out, err = chase.Chase(in, ms...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			benchSink = out
+			withOut := liveHeap()
+			benchSink = nil
+			out = nil
+			withoutOut := liveHeap()
+			b.ReportMetric(float64(srcRetained)/1e6, "src-retained-MB")
+			b.ReportMetric(float64(withOut-withoutOut)/1e6, "out-retained-MB")
 		})
 	}
 }

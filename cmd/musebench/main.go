@@ -39,7 +39,7 @@ func main() {
 	log.SetFlags(0)
 	table := flag.String("table", "all", "characteristics | museg | mused | all")
 	scenario := flag.String("scenario", "", "restrict to one scenario (Mondial, DBLP, TPCH, Amalgam)")
-	scale := flag.Float64("scale", 1, "instance scale (1 ≈ the paper's data sizes)")
+	scaleFlag := flag.String("scale", "1", "instance scale: a float or SF<n> (1 ≈ the paper's data sizes)")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-question real-example retrieval budget")
 	noKeys := flag.Bool("nokeys", false, "ablation: disable key-based question reduction")
 	noReal := flag.Bool("noreal", false, "ablation: disable real-example retrieval")
@@ -74,6 +74,11 @@ func main() {
 		}()
 	}
 
+	scale, err := scenarios.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var o *obs.Obs
 	var deltas *counterDeltas
 	if *metricsPath != "" {
@@ -100,7 +105,7 @@ func main() {
 	if runChar {
 		var rows []bench.Characteristics
 		for _, s := range scns {
-			row, err := bench.RunCharacteristics(s, *scale)
+			row, err := bench.RunCharacteristics(s, scale)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -110,7 +115,7 @@ func main() {
 	}
 
 	if runG {
-		cfg := bench.MuseGConfig{Scale: *scale, Timeout: *timeout, NoKeys: *noKeys, NoReal: *noReal, Parallel: *parallel, Obs: o}
+		cfg := bench.MuseGConfig{Scale: scale, Timeout: *timeout, NoKeys: *noKeys, NoReal: *noReal, Parallel: *parallel, Obs: o}
 		var rows []bench.MuseGRow
 		for _, s := range scns {
 			for _, strat := range []designer.Strategy{designer.G1, designer.G2, designer.G3} {
@@ -133,7 +138,7 @@ func main() {
 			if s.PaperDQuestions == 0 && *scenario == "" {
 				continue // the paper runs Muse-D only where ambiguity exists
 			}
-			row, err := bench.RunMuseDObs(s, *scale, o)
+			row, err := bench.RunMuseDObs(s, scale, o)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -196,20 +196,18 @@ func chaseOne(ctx context.Context, src *instance.Instance, m *mapping.Mapping, i
 // tuples of an assignment: for every (exists var, attribute) slot,
 // either a source expression, or a Skolem null shared by its equality
 // class; and for every (exists var, set field), the grouping term.
+//
+// The per-variable plans are slot-aligned with instance.Tuple's
+// compact storage: emit writes each slot by position (PutSlot), into a
+// reusable scratch tuple per variable, and relies on the clone-on-
+// insert Instance.InsertUnique so only novel tuples ever reach the
+// output arena.
 type targetPlan struct {
 	m    *mapping.Mapping
 	info *mapping.Info
-	// atomSource[var][attr] holds the source expression feeding the
-	// slot, if any.
-	atomSource map[string]map[string]mapping.Expr
-	// atomNull[var][attr] holds the Skolem symbol for slots with no
-	// source expression (one symbol per equality class).
-	atomNull map[string]map[string]string
-	// setTerm[var][field] holds the grouping term for set-valued slots.
-	setTerm map[string]map[string]mapping.SKTerm
-	// childSet[var][field] holds the set type the SetID denotes, so
-	// minted SetIDs materialize as (possibly empty) occurrences.
-	childSet map[string]map[string]*nr.SetType
+	// vars holds one slot-aligned build plan per exists variable,
+	// indexed by the variable's position in info.TgtOrder.
+	vars []varPlan
 	// skolemArgs lists the source expressions that parameterize the
 	// nulls minted per assignment (all source atoms, in order).
 	skolemArgs []mapping.Expr
@@ -218,11 +216,16 @@ type targetPlan struct {
 	// agree at emit time.
 	checkGroups map[mapping.Expr][]mapping.Expr
 	// varPos maps each exists variable to its position in
-	// info.TgtOrder, and built is the per-assignment scratch of target
-	// tuples indexed by it (reused across emits; only the tuples
-	// escape).
+	// info.TgtOrder.
 	varPos map[string]int
-	built  []*instance.Tuple
+	// skArgs and argBuf are per-emit scratch for Skolem/grouping term
+	// arguments; the interners clone them on a table miss, so reuse
+	// across emits is safe. ownedSkArgs is the emit's retained clone of
+	// skArgs, made lazily by the first interner miss and shared by all
+	// nulls of the assignment (reset each emit).
+	skArgs      []instance.Value
+	ownedSkArgs []instance.Value
+	argBuf      []instance.Value
 	// nAsg/nTuples/nNulls/nSetIDs count this chase's work (plain ints:
 	// the plan is private to one chaseOne call); chaseOne flushes them
 	// to the observer's counters once per mapping, keeping atomics off
@@ -230,20 +233,38 @@ type targetPlan struct {
 	nAsg, nTuples, nNulls, nSetIDs int64
 }
 
+// varPlan is the build plan for one exists variable's tuple, aligned
+// with the set type's slot layout: index i < len(st.Atoms) addresses
+// atom slot i, and set-field j addresses slot len(st.Atoms)+j.
+type varPlan struct {
+	st *nr.SetType
+	// scratch is the reusable tuple emit fills; every slot is written
+	// on every emit, and InsertUnique copies it on a dedup miss, so it
+	// never escapes.
+	scratch *instance.Tuple
+	// atomSrc[i] is the source expression feeding atom slot i; it is
+	// meaningful only when nullSym[i] is empty, otherwise the slot is
+	// Skolemized with that symbol.
+	atomSrc []mapping.Expr
+	nullSym []string
+	// setTerm[j] is the grouping term for set-field slot j, and
+	// child[j] the set type its SetID denotes (minted SetIDs
+	// materialize as possibly-empty occurrences).
+	setTerm []mapping.SKTerm
+	child   []*nr.SetType
+}
+
 func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
 	p := &targetPlan{
 		m: m, info: info,
-		atomSource: make(map[string]map[string]mapping.Expr),
-		atomNull:   make(map[string]map[string]string),
-		setTerm:    make(map[string]map[string]mapping.SKTerm),
-		childSet:   make(map[string]map[string]*nr.SetType),
+		vars:       make([]varPlan, len(info.TgtOrder)),
 		skolemArgs: m.Poss(),
 		varPos:     make(map[string]int, len(info.TgtOrder)),
-		built:      make([]*instance.Tuple, len(info.TgtOrder)),
 	}
 	for i, v := range info.TgtOrder {
 		p.varPos[v] = i
 	}
+	p.skArgs = make([]instance.Value, len(p.skolemArgs))
 	// Union-find over target atom slots, merged by the exists-satisfy
 	// equalities; where-clause equalities attach source expressions to
 	// classes.
@@ -278,34 +299,37 @@ func planTarget(m *mapping.Mapping, info *mapping.Info) (*targetPlan, error) {
 		}
 		classSource[root] = q.L
 	}
-	for _, v := range info.TgtOrder {
+	for vi, v := range info.TgtOrder {
 		st := info.TgtVars[v]
-		p.atomSource[v] = make(map[string]mapping.Expr)
-		p.atomNull[v] = make(map[string]string)
-		p.setTerm[v] = make(map[string]mapping.SKTerm)
-		p.childSet[v] = make(map[string]*nr.SetType)
-		for _, a := range st.Atoms {
+		vp := &p.vars[vi]
+		vp.st = st
+		vp.scratch = instance.NewTuple(st)
+		vp.atomSrc = make([]mapping.Expr, len(st.Atoms))
+		vp.nullSym = make([]string, len(st.Atoms))
+		vp.setTerm = make([]mapping.SKTerm, len(st.SetFields))
+		vp.child = make([]*nr.SetType, len(st.SetFields))
+		for i, a := range st.Atoms {
 			slot := mapping.E(v, a)
 			root := find(slot)
 			if srcExpr, ok := classSource[root]; ok {
-				p.atomSource[v][a] = srcExpr
+				vp.atomSrc[i] = srcExpr
 			} else {
 				// One null per equality class per assignment: name the
 				// symbol after the class representative.
-				p.atomNull[v][a] = "N_" + m.Name + "_" + root.Var + "." + root.Attr
+				vp.nullSym[i] = "N_" + m.Name + "_" + root.Var + "." + root.Attr
 			}
 		}
-		for _, f := range st.SetFields {
+		for j, f := range st.SetFields {
 			sk := m.SKForSet(mapping.E(v, f))
 			if sk == nil {
 				return nil, fmt.Errorf("chase: mapping %s has no grouping function for %s.%s (call AddDefaultSKs)", m.Name, v, f)
 			}
-			p.setTerm[v][f] = sk.SK
+			vp.setTerm[j] = sk.SK
 			child := st.Child(f)
 			if child == nil {
 				return nil, fmt.Errorf("chase: mapping %s: cannot resolve target set %s.%s", m.Name, st.Path, f)
 			}
-			p.childSet[v][f] = child
+			vp.child[j] = child
 		}
 	}
 	// Consistency groups: where equalities that share a class must
@@ -335,54 +359,61 @@ func (p *targetPlan) emit(asg assignment, out *instance.Instance) error {
 			}
 		}
 	}
-	// Skolem argument values shared by all nulls of this assignment.
-	skArgs := make([]instance.Value, len(p.skolemArgs))
+	// Skolem argument values shared by all nulls of this assignment
+	// (scratch slice: the interner clones on a miss).
+	skArgs := p.skArgs
 	for i, e := range p.skolemArgs {
 		skArgs[i] = eval(asg, e)
 	}
-	// Build each exists tuple.
-	built := p.built
-	for vi, v := range p.info.TgtOrder {
-		st := p.info.TgtVars[v]
-		t := instance.NewTuple(st)
-		for _, a := range st.Atoms {
-			if srcExpr, ok := p.atomSource[v][a]; ok {
-				t.Put(a, eval(asg, srcExpr))
+	p.ownedSkArgs = nil
+	// Fill each exists variable's scratch tuple slot by slot. Source-fed
+	// slots copy the source value's interface header (no boxing); minted
+	// nulls and SetIDs go through the output instance's intern table, so
+	// re-derived terms resolve to their one canonical pointer.
+	for vi := range p.vars {
+		vp := &p.vars[vi]
+		t := vp.scratch
+		for i := range vp.atomSrc {
+			if vp.nullSym[i] == "" {
+				t.PutSlot(i, eval(asg, vp.atomSrc[i]))
 			} else {
-				t.Put(a, instance.NewNull(p.atomNull[v][a], skArgs...))
+				t.PutSlot(i, out.InternNullShared(vp.nullSym[i], skArgs, &p.ownedSkArgs))
 				p.nNulls++
 			}
 		}
-		for _, f := range st.SetFields {
-			term := p.setTerm[v][f]
-			args := make([]instance.Value, len(term.Args))
-			for i, e := range term.Args {
-				args[i] = eval(asg, e)
+		nAtoms := len(vp.atomSrc)
+		for j := range vp.setTerm {
+			term := &vp.setTerm[j]
+			args := p.argBuf[:0]
+			for _, e := range term.Args {
+				args = append(args, eval(asg, e))
 			}
-			ref := instance.NewSetRef(term.Fn, args...)
-			t.Put(f, ref)
+			p.argBuf = args
+			ref := out.InternSetRef(term.Fn, args)
+			t.PutSlot(nAtoms+j, ref)
 			p.nSetIDs++
 			// Materialize the (possibly empty) occurrence the SetID
 			// denotes, as in Fig. 2.
-			out.EnsureSet(p.childSet[v][f], ref)
+			out.EnsureSet(vp.child[j], ref)
 		}
-		built[vi] = t
 	}
-	// Insert each tuple into its destination set occurrence.
+	// Insert each tuple into its destination set occurrence. The
+	// clone-on-insert path copies a scratch tuple into the output arena
+	// only when its key is new; duplicate assignments allocate nothing.
 	p.nTuples += int64(len(p.m.Exists))
 	for _, g := range p.m.Exists {
-		t := built[p.varPos[g.Var]]
+		t := p.vars[p.varPos[g.Var]].scratch
 		st := p.info.TgtVars[g.Var]
 		switch {
 		case g.Root != nil:
-			out.InsertTop(st, t)
+			out.InsertTopUnique(st, t)
 		default:
-			parent := built[p.varPos[g.Parent]]
+			parent := p.vars[p.varPos[g.Parent]].scratch
 			ref, ok := parent.Get(g.Field).(*instance.SetRef)
 			if !ok {
 				return fmt.Errorf("chase: %s.%s is not a SetID", g.Parent, g.Field)
 			}
-			out.Insert(st, ref, t)
+			out.InsertUnique(st, ref, t)
 		}
 	}
 	return nil

@@ -508,22 +508,28 @@ func (w *GroupingWizard) dataImplied(m *mapping.Mapping, confirmed []mapping.Exp
 		return false, err
 	}
 	groups := make(map[string]string)
+	var gkeyBuf, pvBuf []byte
 	for _, match := range matches {
-		gkey := ""
+		gkeyBuf = gkeyBuf[:0]
 		for _, e := range confirmed {
 			if v := match.Tuples[tb.atomIndex(1, e.Var)].Get(e.Attr); v != nil {
-				gkey += v.Key()
+				gkeyBuf = instance.AppendValueKey(gkeyBuf, v)
 			}
-			gkey += "\x06"
+			gkeyBuf = append(gkeyBuf, '\x06')
 		}
-		pv := ""
+		pvBuf = pvBuf[:0]
 		if v := match.Tuples[tb.atomIndex(1, probe.Var)].Get(probe.Attr); v != nil {
-			pv = v.Key()
+			pvBuf = instance.AppendValueKey(pvBuf, v)
 		}
-		if prev, ok := groups[gkey]; ok && prev != pv {
-			return false, nil
+		// Probe with the scratch buffers; key strings are materialized
+		// only when a new group is recorded.
+		if prev, ok := groups[string(gkeyBuf)]; ok {
+			if prev != string(pvBuf) {
+				return false, nil
+			}
+			continue
 		}
-		groups[gkey] = pv
+		groups[string(gkeyBuf)] = string(pvBuf)
 	}
 	return true, nil
 }

@@ -207,6 +207,7 @@ func samplePin(r *rand.Rand, in *instance.Instance, st *nr.SetType, attr string)
 // sorted by variable.
 func encodeMatches(q *query.Query, ms []query.Match) []string {
 	out := make([]string, len(ms))
+	var vb []byte
 	for i, m := range ms {
 		var b strings.Builder
 		for ai, t := range m.Tuples {
@@ -225,9 +226,12 @@ func encodeMatches(q *query.Query, ms []query.Match) []string {
 		}
 		sort.Strings(vars)
 		for _, v := range vars {
-			b.WriteString("|" + v + ":")
+			b.WriteByte('|')
+			b.WriteString(v)
+			b.WriteByte(':')
 			if m.Values[v] != nil {
-				b.WriteString(m.Values[v].Key())
+				vb = instance.AppendValueKey(vb[:0], m.Values[v])
+				b.Write(vb)
 			}
 		}
 		out[i] = b.String()

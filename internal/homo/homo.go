@@ -60,6 +60,7 @@ type searcher struct {
 	used      map[string]bool           // value keys in b used as binding targets (injective mode)
 	trail     []snapshotEntry           // bindings in insertion order, for backtracking
 	steps     int                       // unification attempts, for the search budget
+	keyBuf    []byte                    // scratch for composing value keys without per-call strings
 }
 
 // searchBudget bounds the backtracking search. Instances the wizards
@@ -236,7 +237,9 @@ func (s *searcher) matchedTuples(ob obligation, prefix []*instance.Tuple) map[st
 	for _, t := range prefix {
 		img := instance.NewTuple(ob.dst.Type)
 		ok := true
-		for label, v := range t.Vals {
+		nAtoms := len(t.Set.Atoms)
+		for i := 0; i < t.NumSlots(); i++ {
+			v := t.ValAt(i)
 			if v == nil {
 				continue // unset slot: its image is unset too
 			}
@@ -245,7 +248,11 @@ func (s *searcher) matchedTuples(ob obligation, prefix []*instance.Tuple) map[st
 				ok = false
 				break
 			}
-			img.Put(label, iv)
+			if i < nAtoms {
+				img.Put(t.Set.Atoms[i], iv)
+			} else {
+				img.Put(t.Set.SetFields[i-nAtoms], iv)
+			}
 		}
 		if ok {
 			out[img.Key()] = true
@@ -288,21 +295,22 @@ func (s *searcher) bind(key string, v instance.Value) bool {
 		return instance.SameValue(prev, v)
 	}
 	if s.injective {
-		if s.used[v.Key()] {
+		// Probe with the scratch buffer (no per-call key string; the
+		// compiler's []byte map lookup allocates nothing) and only
+		// materialize the key when the binding is actually recorded.
+		s.keyBuf = instance.AppendValueKey(s.keyBuf[:0], v)
+		if s.used[string(s.keyBuf)] {
 			return false
 		}
-		s.used[v.Key()] = true
+		uk := string(s.keyBuf)
+		s.used[uk] = true
+		s.bindings[key] = v
+		s.trail = append(s.trail, snapshotEntry{key: key, usedKey: uk})
+		return true
 	}
 	s.bindings[key] = v
-	s.trail = append(s.trail, snapshotEntry{key: key, usedKey: mapUsedKey(s.injective, v)})
+	s.trail = append(s.trail, snapshotEntry{key: key})
 	return true
-}
-
-func mapUsedKey(injective bool, v instance.Value) string {
-	if injective {
-		return v.Key()
-	}
-	return ""
 }
 
 // unifyTuple tries to map tuple t onto cand under the current

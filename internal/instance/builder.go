@@ -20,14 +20,14 @@ func (in *Instance) InsertRow(path string, row Row) error {
 	if st.Parent != nil {
 		return fmt.Errorf("instance: set %q is nested; insert with an explicit SetID", path)
 	}
-	t := NewTuple(st)
+	t := in.ScratchTuple(st)
 	for label, s := range row {
 		if !st.HasAtom(label) {
 			return fmt.Errorf("instance: set %q has no atom %q", path, label)
 		}
-		t.Put(label, C(s))
+		t.Put(label, in.InternConst(s))
 	}
-	in.InsertTop(st, t)
+	in.InsertTopUnique(st, t)
 	return nil
 }
 
@@ -49,12 +49,31 @@ func (in *Instance) MustInsertVals(path string, vals ...string) {
 	if len(vals) != len(st.Atoms) {
 		panic(fmt.Sprintf("instance: set %q has %d atoms, got %d values", path, len(st.Atoms), len(vals)))
 	}
-	t := NewTuple(st)
-	for i, a := range st.Atoms {
-		t.Put(a, C(vals[i]))
-	}
 	if st.Parent != nil {
 		panic(fmt.Sprintf("instance: set %q is nested; insert with an explicit SetID", path))
 	}
-	in.InsertTop(st, t)
+	t := in.ScratchTuple(st)
+	for i := range st.Atoms {
+		t.PutSlot(i, in.InternConst(vals[i]))
+	}
+	in.InsertTopUnique(st, t)
+}
+
+// ScratchTuple returns the instance's reusable scratch tuple for st,
+// cleared. Fill it and hand it to InsertUnique/InsertTopUnique, which
+// copy on a dedup miss; the scratch itself never enters the instance.
+// Builder-side only: one scratch exists per set type, so not safe for
+// concurrent use, and a second ScratchTuple(st) call invalidates the
+// first's contents.
+func (in *Instance) ScratchTuple(st *nr.SetType) *Tuple {
+	if in.scratch == nil {
+		in.scratch = make(map[*nr.SetType]*Tuple)
+	}
+	t := in.scratch[st]
+	if t == nil {
+		t = NewTuple(st)
+		in.scratch[st] = t
+		return t
+	}
+	return t.Clear()
 }

@@ -69,6 +69,56 @@ func (sh *shortener) value(v Value) string {
 	}
 }
 
+// arena is a per-Instance bump allocator for tuple headers and value
+// slot arrays. Instance.NewTuple and the clone-on-insert path carve
+// tuples out of block allocations instead of minting one header object
+// and one slot slice per tuple, so a scaled scenario build or chase
+// costs two allocations per few hundred tuples, not two per tuple.
+//
+// Arena memory lives exactly as long as the owning Instance: tuples
+// handed out reference the blocks, and the blocks die with the last
+// tuple. Nothing is ever returned to an arena — deduplication happens
+// before allocation (InsertUnique copies into the arena only on a
+// key-table miss), so no freelist is needed.
+type arena struct {
+	tuples []Tuple
+	vals   []Value
+}
+
+const (
+	arenaBlockTuples = 256
+	arenaBlockVals   = 4096
+)
+
+func (a *arena) newTuple() *Tuple {
+	if len(a.tuples) == 0 {
+		a.tuples = make([]Tuple, arenaBlockTuples)
+	}
+	t := &a.tuples[0]
+	a.tuples = a.tuples[1:]
+	return t
+}
+
+func (a *arena) newVals(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	if n > len(a.vals) {
+		if n > arenaBlockVals/4 {
+			// A record this wide would waste most of a fresh block on
+			// every refill; give it its own slice.
+			return make([]Value, n)
+		}
+		// The block remainder (< n slots) is abandoned: bounded waste,
+		// and the full capacity is three-index-sliced out below so no
+		// tuple can append into a neighbour's slots.
+		a.vals = make([]Value, arenaBlockVals)
+	}
+	v := a.vals[:n:n]
+	a.vals = a.vals[n:]
+	return v
+}
+
 func (in *Instance) writeSetCompact(b *strings.Builder, s *SetVal, indent string, sh *shortener) {
 	tuples := s.Tuples()
 	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })

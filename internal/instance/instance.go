@@ -13,9 +13,16 @@ import (
 // Tuple is a value of a set's element record type: a mapping from the
 // set type's atom labels (and set-field labels) to values. Atom slots
 // hold Const or Null values; set-field slots hold SetRef values.
+//
+// Storage is compact: values live in a slot-indexed array following
+// the set type's layout (atoms in declaration order, then set fields —
+// see nr.SetType.Slot), not in a per-tuple map. Tuples created through
+// Instance.NewTuple carve both the header and the value array out of
+// the instance's arena, so building a large instance allocates value
+// blocks rather than one object graph per tuple.
 type Tuple struct {
 	Set  *nr.SetType
-	Vals map[string]Value
+	vals []Value
 
 	// key caches the canonical encoding; Put invalidates it. The cache
 	// is atomic so read-only sharing across chase workers is race-free
@@ -23,17 +30,58 @@ type Tuple struct {
 	key atomic.Pointer[string]
 }
 
-// NewTuple creates an empty tuple of the given set type.
+// NewTuple creates an empty tuple of the given set type on the heap.
+// Tuples destined for a particular instance should prefer
+// Instance.NewTuple (arena-backed); NewTuple remains for scratch
+// tuples and instance-independent construction.
 func NewTuple(st *nr.SetType) *Tuple {
-	return &Tuple{Set: st, Vals: make(map[string]Value, len(st.Atoms)+len(st.SetFields))}
+	return &Tuple{Set: st, vals: make([]Value, st.NumSlots())}
 }
 
-// Get returns the value at label, or nil if unset.
-func (t *Tuple) Get(label string) Value { return t.Vals[label] }
+// Get returns the value at label, or nil if unset (or unknown).
+func (t *Tuple) Get(label string) Value {
+	if i := t.Set.Slot(label); i >= 0 {
+		return t.vals[i]
+	}
+	return nil
+}
 
-// Set assigns the value at label and returns the tuple for chaining.
+// ValAt returns the value at slot position i (see nr.SetType.Slot for
+// the layout: atoms in declaration order, then set fields). Hot loops
+// that resolved slot positions once use it to skip the label lookup.
+func (t *Tuple) ValAt(i int) Value { return t.vals[i] }
+
+// NumSlots returns the number of value slots (len(Atoms) +
+// len(SetFields) of the set type).
+func (t *Tuple) NumSlots() int { return len(t.vals) }
+
+// Put assigns the value at label and returns the tuple for chaining.
+// It panics when label names neither an atom nor a set field of the
+// tuple's set type (all loaders validate labels before putting).
 func (t *Tuple) Put(label string, v Value) *Tuple {
-	t.Vals[label] = v
+	i := t.Set.Slot(label)
+	if i < 0 {
+		panic(fmt.Sprintf("instance: set %s has no field %q", t.Set, label))
+	}
+	t.vals[i] = v
+	t.key.Store(nil)
+	return t
+}
+
+// PutSlot assigns the value at a slot position (see nr.SetType.Slot
+// for the layout). Hot loops that resolved slot positions once (the
+// chase's target plan) use it to skip the per-Put label lookup.
+func (t *Tuple) PutSlot(i int, v Value) {
+	t.vals[i] = v
+	t.key.Store(nil)
+}
+
+// Clear unsets every slot, so a scratch tuple can be reused across
+// InsertUnique calls whose writers fill only some slots.
+func (t *Tuple) Clear() *Tuple {
+	for i := range t.vals {
+		t.vals[i] = nil
+	}
 	t.key.Store(nil)
 	return t
 }
@@ -44,31 +92,30 @@ func (t *Tuple) Key() string {
 	if k := t.key.Load(); k != nil {
 		return *k
 	}
-	b := make([]byte, 0, 16*(len(t.Set.Atoms)+len(t.Set.SetFields)))
-	for _, a := range t.Set.Atoms {
-		if v := t.Vals[a]; v != nil {
-			b = v.appendKey(b)
-		}
-		b = append(b, '\x04')
-	}
-	for _, f := range t.Set.SetFields {
-		if v := t.Vals[f]; v != nil {
-			b = v.appendKey(b)
-		}
-		b = append(b, '\x04')
-	}
+	b := t.appendKeyBytes(make([]byte, 0, 16*len(t.vals)))
 	k := string(b)
 	t.key.Store(&k)
 	return k
+}
+
+// appendKeyBytes composes the canonical tuple encoding into b without
+// touching the memoized key. The slot array follows the declared field
+// order, so one pass over it reproduces Key's encoding exactly.
+func (t *Tuple) appendKeyBytes(b []byte) []byte {
+	for _, v := range t.vals {
+		if v != nil {
+			b = v.appendKey(b)
+		}
+		b = append(b, '\x04')
+	}
+	return b
 }
 
 // Clone returns a copy of the tuple sharing values (values are
 // immutable).
 func (t *Tuple) Clone() *Tuple {
 	c := NewTuple(t.Set)
-	for k, v := range t.Vals {
-		c.Vals[k] = v
-	}
+	copy(c.vals, t.vals)
 	return c
 }
 
@@ -76,14 +123,14 @@ func (t *Tuple) Clone() *Tuple {
 func (t *Tuple) String() string {
 	var parts []string
 	for _, a := range t.Set.Atoms {
-		if v := t.Vals[a]; v != nil {
+		if v := t.Get(a); v != nil {
 			parts = append(parts, v.String())
 		} else {
 			parts = append(parts, "_")
 		}
 	}
 	for _, f := range t.Set.SetFields {
-		if v := t.Vals[f]; v != nil {
+		if v := t.Get(f); v != nil {
 			parts = append(parts, f+":"+v.String())
 		} else {
 			parts = append(parts, f+":_")
@@ -163,6 +210,21 @@ type Instance struct {
 	sets   map[string]*SetVal // SetRef key → occurrence
 	order  []string           // insertion order of SetRef keys
 	tops   map[*nr.SetType]*SetVal
+
+	// arena block-allocates tuple headers and slot arrays owned by this
+	// instance (see compact.go); keyBuf is the reusable scratch the
+	// clone-on-insert path composes tuple keys into. Neither is safe
+	// for concurrent mutation — like Insert itself, the builder-side
+	// API is single-writer (chase workers build into private scratch
+	// instances and merge single-threaded).
+	arena   arena
+	keyBuf  []byte
+	scratch map[*nr.SetType]*Tuple // ScratchTuple cache, one per set type
+
+	// intern is the per-instance value intern table (see intern.go).
+	// Unlike the arena it IS concurrency-safe: parallel chase workers
+	// intern source values through the shared input instance.
+	intern internTable
 }
 
 // New creates an empty instance of the schema, with the top-level set
@@ -271,6 +333,52 @@ func (in *Instance) InsertTop(st *nr.SetType, t *Tuple) bool {
 	return in.Top(st).Insert(t)
 }
 
+// NewTuple allocates an empty tuple of st out of the instance's arena.
+// The tuple's memory lives as long as the instance; use it for tuples
+// that will be inserted here (Insert) or retained alongside it.
+// Builder-side only: not safe for concurrent use.
+func (in *Instance) NewTuple(st *nr.SetType) *Tuple {
+	t := in.arena.newTuple()
+	t.Set = st
+	t.vals = in.arena.newVals(st.NumSlots())
+	return t
+}
+
+// InsertUnique adds a copy of t to the occurrence with SetID id,
+// creating the occurrence if needed, and reports whether the tuple was
+// new. Unlike Insert it does not take ownership of t: the caller keeps
+// a reusable scratch tuple, and only on a dedup miss is its content
+// copied into an arena-backed tuple (with the canonical key, already
+// composed for the dedup probe, memoized on the copy). Duplicate
+// inserts allocate nothing. Builder-side only: not safe for concurrent
+// use.
+func (in *Instance) InsertUnique(st *nr.SetType, id *SetRef, t *Tuple) bool {
+	return in.insertUnique(in.EnsureSet(st, id), t)
+}
+
+// InsertTopUnique is InsertUnique on the unique occurrence of a
+// top-level set.
+func (in *Instance) InsertTopUnique(st *nr.SetType, t *Tuple) bool {
+	return in.insertUnique(in.Top(st), t)
+}
+
+func (in *Instance) insertUnique(s *SetVal, t *Tuple) bool {
+	if t.Set != s.Type {
+		panic(fmt.Sprintf("instance: inserting %s tuple into %s set", t.Set, s.Type))
+	}
+	in.keyBuf = t.appendKeyBytes(in.keyBuf[:0])
+	if _, ok := s.tuples[string(in.keyBuf)]; ok {
+		return false
+	}
+	c := in.NewTuple(t.Set)
+	copy(c.vals, t.vals)
+	k := string(in.keyBuf)
+	c.key.Store(&k)
+	s.tuples[k] = c
+	s.list = append(s.list, c)
+	return true
+}
+
 // TupleCount returns the total number of tuples across all sets.
 func (in *Instance) TupleCount() int {
 	n := 0
@@ -286,9 +394,9 @@ func (in *Instance) TupleCount() int {
 func (in *Instance) SizeBytes() int {
 	n := 0
 	for _, s := range in.sets {
-		for _, t := range s.Tuples() {
-			for _, a := range t.Set.Atoms {
-				if v := t.Vals[a]; v != nil {
+		for _, t := range s.list {
+			for _, v := range t.vals[:len(t.Set.Atoms)] {
+				if v != nil {
 					n += len(v.String()) + 1
 				}
 			}
@@ -391,9 +499,9 @@ func (in *Instance) String() string {
 func (in *Instance) referencedIDs() map[string]bool {
 	out := make(map[string]bool)
 	for _, s := range in.sets {
-		for _, t := range s.Tuples() {
-			for _, f := range s.Type.SetFields {
-				if ref, ok := t.Vals[f].(*SetRef); ok {
+		for _, t := range s.list {
+			for _, v := range t.vals[len(s.Type.Atoms):] {
+				if ref, ok := v.(*SetRef); ok {
 					out[ref.Key()] = true
 				}
 			}
@@ -407,16 +515,16 @@ func (in *Instance) writeSet(b *strings.Builder, s *SetVal, indent string) {
 	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })
 	for _, t := range tuples {
 		var parts []string
-		for _, a := range t.Set.Atoms {
-			if v := t.Vals[a]; v != nil {
+		for _, v := range t.vals[:len(t.Set.Atoms)] {
+			if v != nil {
 				parts = append(parts, v.String())
 			} else {
 				parts = append(parts, "_")
 			}
 		}
 		fmt.Fprintf(b, "%s(%s)\n", indent, strings.Join(parts, ", "))
-		for _, f := range t.Set.SetFields {
-			ref, ok := t.Vals[f].(*SetRef)
+		for i, f := range t.Set.SetFields {
+			ref, ok := t.vals[len(t.Set.Atoms)+i].(*SetRef)
 			if !ok {
 				continue
 			}

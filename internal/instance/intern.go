@@ -1,0 +1,198 @@
+package instance
+
+import "sync"
+
+// This file implements the per-Instance value intern table.
+//
+// Interning canonicalizes values by their canonical key: within one
+// Instance, two equal values obtained through Intern* share a single
+// pointer (for *Null and *SetRef) or a single boxed interface word
+// (for Const), so
+//
+//   - SameValue decides equality on the hot path with the a == b
+//     pointer comparison instead of rendering and comparing keys,
+//   - the memoized key caches of Null/SetRef collapse to one canonical
+//     copy per distinct value instead of one per minted duplicate, and
+//   - storing an interned value into a tuple slot copies an interface
+//     header instead of boxing a fresh object.
+//
+// Interned values are immutable, like all Values: Intern* clones the
+// caller's argument slice on a table miss, so callers may reuse scratch
+// slices, and nothing handed out by the table may ever be mutated.
+// The table is sharded and each shard has its own mutex, so concurrent
+// interning from parallel chase workers contends only on key-colliding
+// shards. The hit path allocates nothing: keys are composed in pooled
+// buffers and looked up with the compiler's []byte-to-string map
+// optimization.
+
+const internShards = 16
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[string]Value
+}
+
+type internTable struct {
+	shards [internShards]internShard
+}
+
+// fnv1a hashes the canonical key for shard selection.
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// lock locks and returns the shard owning key.
+func (tb *internTable) lock(key []byte) *internShard {
+	sh := &tb.shards[fnv1a(key)&(internShards-1)]
+	sh.mu.Lock()
+	return sh
+}
+
+// size returns the total number of interned values across all shards.
+func (tb *internTable) size() int {
+	n := 0
+	for i := range tb.shards {
+		sh := &tb.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// internKeyBufs pools scratch buffers for composing intern keys, so
+// interning from many goroutines never allocates a key buffer.
+var internKeyBufs = sync.Pool{
+	New: func() any { b := make([]byte, 0, 128); return &b },
+}
+
+// InternConst returns the canonical boxed Const for s. The returned
+// interface value shares one data word per distinct string within the
+// instance, so assigning it to tuple slots never re-boxes.
+func (in *Instance) InternConst(s string) Value {
+	bp := internKeyBufs.Get().(*[]byte)
+	b := append((*bp)[:0], 'c', 0)
+	b = append(b, s...)
+	sh := in.intern.lock(b)
+	v, ok := sh.m[string(b)]
+	if !ok {
+		if sh.m == nil {
+			sh.m = make(map[string]Value)
+		}
+		canon := string(b)
+		// Share the key's bytes: canon is "c\x00" + s.
+		v = Const{S: canon[2:]}
+		sh.m[canon] = v
+	}
+	sh.mu.Unlock()
+	*bp = b
+	internKeyBufs.Put(bp)
+	return v
+}
+
+// InternNull returns the canonical *Null for the Skolem term fn(args).
+// The args slice is cloned on a miss; callers may reuse it. The
+// canonical key is pre-stored in the value's memo, so the one canonical
+// null never re-renders it.
+func (in *Instance) InternNull(fn string, args []Value) *Null {
+	return in.internNull(fn, args, nil)
+}
+
+// InternNullShared is InternNull for callers minting several nulls
+// that share one argument vector per round (the chase: every null of
+// one assignment takes the same Skolem arguments). owned points to the
+// round's retained clone of args — nil until some miss first needs to
+// keep the arguments, at which point one clone is made and shared by
+// all subsequent misses of the round. Callers must reset *owned to nil
+// whenever the scratch args contents change.
+func (in *Instance) InternNullShared(fn string, args []Value, owned *[]Value) *Null {
+	return in.internNull(fn, args, owned)
+}
+
+func (in *Instance) internNull(fn string, args []Value, owned *[]Value) *Null {
+	bp := internKeyBufs.Get().(*[]byte)
+	b := append((*bp)[:0], 'n', 0)
+	b = appendTerm(b, fn, args)
+	sh := in.intern.lock(b)
+	v, ok := sh.m[string(b)]
+	if !ok {
+		if sh.m == nil {
+			sh.m = make(map[string]Value)
+		}
+		retained := args
+		if owned != nil {
+			if *owned == nil {
+				*owned = cloneArgs(args)
+			}
+			retained = *owned
+		} else {
+			retained = cloneArgs(args)
+		}
+		canon := string(b)
+		n := &Null{Fn: fn, Args: retained}
+		n.key.Store(&canon)
+		sh.m[canon] = n
+		v = n
+	}
+	sh.mu.Unlock()
+	*bp = b
+	internKeyBufs.Put(bp)
+	return v.(*Null)
+}
+
+// InternSetRef returns the canonical *SetRef for the SetID term
+// fn(args). Cloning and key pre-storage follow InternNull.
+func (in *Instance) InternSetRef(fn string, args []Value) *SetRef {
+	bp := internKeyBufs.Get().(*[]byte)
+	b := append((*bp)[:0], 's', 0)
+	b = appendTerm(b, fn, args)
+	sh := in.intern.lock(b)
+	v, ok := sh.m[string(b)]
+	if !ok {
+		if sh.m == nil {
+			sh.m = make(map[string]Value)
+		}
+		canon := string(b)
+		s := &SetRef{Fn: fn, Args: cloneArgs(args)}
+		s.key.Store(&canon)
+		sh.m[canon] = s
+		v = s
+	}
+	sh.mu.Unlock()
+	*bp = b
+	internKeyBufs.Put(bp)
+	return v.(*SetRef)
+}
+
+// InternValue returns the canonical form of an existing value: the
+// shared box for a Const, the canonical pointer for a *Null or
+// *SetRef. Nil stays nil.
+func (in *Instance) InternValue(v Value) Value {
+	switch t := v.(type) {
+	case nil:
+		return nil
+	case Const:
+		return in.InternConst(t.S)
+	case *Null:
+		return in.InternNull(t.Fn, t.Args)
+	case *SetRef:
+		return in.InternSetRef(t.Fn, t.Args)
+	}
+	return v
+}
+
+// Interned returns the number of distinct values in the instance's
+// intern table (for tests and diagnostics).
+func (in *Instance) Interned() int { return in.intern.size() }
+
+func cloneArgs(args []Value) []Value {
+	if len(args) == 0 {
+		return nil
+	}
+	return append([]Value(nil), args...)
+}

@@ -31,6 +31,10 @@ func CSV(in *instance.Instance, setPath string, r io.Reader, header bool) error 
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	cols := st.Atoms
+	slots := make([]int, len(cols))
+	for i, name := range cols {
+		slots[i] = st.Slot(name)
+	}
 	first := true
 	for {
 		rec, err := cr.Read()
@@ -55,17 +59,21 @@ func CSV(in *instance.Instance, setPath string, r io.Reader, header bool) error 
 				seen[name] = i
 				cols[i] = name
 			}
+			slots = make([]int, len(cols))
+			for i, name := range cols {
+				slots[i] = st.Slot(name)
+			}
 			continue
 		}
 		first = false
 		if len(rec) != len(cols) {
 			return fmt.Errorf("load: %s: row has %d fields, want %d", setPath, len(rec), len(cols))
 		}
-		t := instance.NewTuple(st)
+		t := in.ScratchTuple(st)
 		for i, v := range rec {
-			t.Put(cols[i], instance.C(v))
+			t.PutSlot(slots[i], in.InternConst(v))
 		}
-		in.InsertTop(st, t)
+		in.InsertTopUnique(st, t)
 	}
 }
 
@@ -157,7 +165,8 @@ func XML(cat *nr.Catalog, r io.Reader) (*instance.Instance, error) {
 
 // decodeTuple reads a tuple's children until the closing tag.
 func decodeTuple(cat *nr.Catalog, dec *xml.Decoder, in *instance.Instance, st *nr.SetType, counter *int) (*instance.Tuple, error) {
-	t := instance.NewTuple(st)
+	// Arena-backed: the tuple is inserted into (and retained by) in.
+	t := in.NewTuple(st)
 	// Nested sets share one occurrence per parent tuple.
 	refs := make(map[string]*instance.SetRef)
 	for {
@@ -185,7 +194,7 @@ func decodeTuple(cat *nr.Catalog, dec *xml.Decoder, in *instance.Instance, st *n
 				}
 				in.Insert(child, ref, ct)
 			default:
-				if err := decodeAtomInto(dec, label, st, t); err != nil {
+				if err := decodeAtomInto(dec, label, st, in, t); err != nil {
 					return nil, err
 				}
 			}
@@ -208,7 +217,7 @@ func decodeTuple(cat *nr.Catalog, dec *xml.Decoder, in *instance.Instance, st *n
 // decodeAtomInto reads one atom (or record wrapper) element into the
 // tuple; nested elements extend the dotted attribute label
 // (<address><city>…</city></address> → "address.city").
-func decodeAtomInto(dec *xml.Decoder, label string, st *nr.SetType, t *instance.Tuple) error {
+func decodeAtomInto(dec *xml.Decoder, label string, st *nr.SetType, in *instance.Instance, t *instance.Tuple) error {
 	var text strings.Builder
 	sawChild := false
 	for {
@@ -221,7 +230,7 @@ func decodeAtomInto(dec *xml.Decoder, label string, st *nr.SetType, t *instance.
 			text.Write(el)
 		case xml.StartElement:
 			sawChild = true
-			if err := decodeAtomInto(dec, label+"."+el.Name.Local, st, t); err != nil {
+			if err := decodeAtomInto(dec, label+"."+el.Name.Local, st, in, t); err != nil {
 				return err
 			}
 		case xml.EndElement:
@@ -231,7 +240,7 @@ func decodeAtomInto(dec *xml.Decoder, label string, st *nr.SetType, t *instance.
 			if !st.HasAtom(label) {
 				return fmt.Errorf("load: set %s has no atom %q", st, label)
 			}
-			t.Put(label, instance.C(strings.TrimSpace(text.String())))
+			t.Put(label, in.InternConst(strings.TrimSpace(text.String())))
 			return nil
 		}
 	}

@@ -39,6 +39,26 @@ type SetType struct {
 	// children maps set-field labels to the child set types, assigned
 	// by the catalog.
 	children map[string]*SetType
+	// slots maps every atom and set-field label to its position in a
+	// tuple's value array, assigned by the catalog (see Slot).
+	slots map[string]int
+}
+
+// NumSlots returns the number of value slots of the element record:
+// the atoms followed by the set fields.
+func (st *SetType) NumSlots() int { return len(st.Atoms) + len(st.SetFields) }
+
+// Slot returns the value-array position of an atom or set-field label,
+// or -1 when the label names neither. The layout is fixed: atoms
+// occupy slots [0, len(Atoms)) in declaration order and set fields
+// follow in declaration order — instance.Tuple stores its values in
+// exactly this order, and slot-addressed access (instance.Tuple's
+// PutSlot) depends on it.
+func (st *SetType) Slot(label string) int {
+	if i, ok := st.slots[label]; ok {
+		return i
+	}
+	return -1
 }
 
 // Child returns the child set type reached through the given set-field
@@ -115,6 +135,15 @@ func NewCatalog(s *Schema) (*Catalog, error) {
 		}
 	}
 	c.assignSKNames()
+	for _, st := range c.Sets {
+		st.slots = make(map[string]int, st.NumSlots())
+		for i, a := range st.Atoms {
+			st.slots[a] = i
+		}
+		for i, f := range st.SetFields {
+			st.slots[f] = len(st.Atoms) + i
+		}
+	}
 	for _, st := range c.Sets {
 		if st.Parent == nil {
 			continue

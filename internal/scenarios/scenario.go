@@ -3,6 +3,8 @@ package scenarios
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"muse/internal/cliogen"
 	"muse/internal/deps"
@@ -58,14 +60,38 @@ func All() []*Scenario {
 	return []*Scenario{Mondial(), DBLP(), TPCH(), Amalgam()}
 }
 
-// ByName returns the named scenario.
+// ByName returns the named scenario (case-insensitive).
 func ByName(name string) (*Scenario, error) {
-	for _, s := range All() {
-		if s.Name == name {
+	all := All()
+	for _, s := range all {
+		if strings.EqualFold(s.Name, name) {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("scenarios: unknown scenario %q", name)
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return nil, fmt.Errorf("scenarios: unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// ParseScale parses a scale-factor flag value: a plain float ("0.2",
+// "5"), or TPC-style "SF<n>" notation ("SF2", "sf0.5"). Scale 1
+// approximates the paper's data size for each scenario; scales must be
+// positive.
+func ParseScale(s string) (float64, error) {
+	num := s
+	if len(s) >= 2 && (strings.HasPrefix(s, "SF") || strings.HasPrefix(s, "sf")) {
+		num = s[2:]
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenarios: invalid scale %q (want a number or SF<n>)", s)
+	}
+	if f <= 0 {
+		return 0, fmt.Errorf("scenarios: scale %q must be positive", s)
+	}
+	return f, nil
 }
 
 // rng returns the deterministic random source all generators use, so
