@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke bench-guard bench
+.PHONY: ci vet build test race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke musestat-smoke crosscheck fuzz-smoke bench-guard bench
 
-ci: vet build race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke crosscheck fuzz-smoke
+ci: vet build race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke musestat-smoke crosscheck fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -59,10 +59,15 @@ fuzz-smoke:
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz '^FuzzMutatedChase$$' -fuzztime 10s
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz '^FuzzRandomQuery$$' -fuzztime 10s
 
-# End-to-end observability check: run a scripted Muse-G session on the
-# Fig. 1 scenario with -metrics and -trace, then assert the headline
-# counters (questions, planner tiers, index probes, chase tuples) are
-# non-zero and the trace contains chase spans.
+# End-to-end observability check, two halves. First: run a scripted
+# Muse-G session on the Fig. 1 scenario with -metrics and -trace, then
+# assert the headline counters (questions, planner tiers, index probes,
+# chase tuples) are non-zero and the trace contains chase spans.
+# Second: boot musesrv with the flight recorder capturing every step
+# (-slow-threshold 0), assert a client-supplied X-Muse-Request-Id
+# round-trips into the response header, and that GET /debug/slow
+# captured the step with a complete one-trace span tree (the
+# server.request root and the core.step span beneath it).
 obs-smoke:
 	@tmp=$$(mktemp -d); \
 	yes 1 | $(GO) run ./cmd/muse -doc testdata/fig1.muse -src CompDB -tgt OrgDB \
@@ -74,6 +79,23 @@ obs-smoke:
 	grep -q '^muse_chase_tuples_total [1-9]' $$tmp/metrics.txt && \
 	grep -q '"name":"chase"' $$tmp/trace.jsonl && \
 	echo "obs-smoke: metrics and trace OK"; st=$$?; rm -rf $$tmp; exit $$st
+	@tmp=$$(mktemp -d); st=1; \
+	$(GO) build -o $$tmp/musesrv ./cmd/musesrv && \
+	$$tmp/musesrv -addr 127.0.0.1:0 -addr-file $$tmp/addr -slow-threshold 0 & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		base="http://$$(cat $$tmp/addr)"; \
+		curl -fsS -D $$tmp/hdrs -H 'X-Muse-Request-Id: smoke-rid-1' \
+			-X POST -d '{"scenario":"fig1"}' "$$base/v1/sessions" >/dev/null && \
+		grep -qi '^x-muse-request-id: smoke-rid-1' $$tmp/hdrs && \
+		curl -fsS "$$base/debug/slow" >$$tmp/slow.json && \
+		jq -e '.steps | map(select(.request_id=="smoke-rid-1")) | .[0] | .trace_id as $$t | ([.spans[].name] | ((index("server.request") != null) and (index("core.step") != null))) and ([.spans[].trace_id] | all(. == $$t))' $$tmp/slow.json >/dev/null && \
+		kill -TERM $$pid && wait $$pid && st=$$? && \
+		echo "obs-smoke: request-id round-trip and /debug/slow capture OK"; \
+	else \
+		echo "obs-smoke: server did not come up"; kill $$pid 2>/dev/null; \
+	fi; \
+	rm -rf $$tmp; exit $$st
 
 # End-to-end server check: boot musesrv on an ephemeral port, run the
 # docs/API.md curl walkthrough (a full Muse-G session on the Fig. 1
@@ -116,6 +138,30 @@ loadtest-smoke:
 		echo "loadtest-smoke: $$(jq -r '.steps.total' $$tmp/load.json) steps across 50 dialogs, 0 errors, report OK"; \
 	else \
 		echo "loadtest-smoke: server did not come up"; kill $$pid 2>/dev/null; \
+	fi; \
+	rm -rf $$tmp; exit $$st
+
+# Console smoke: boot musesrv, start one session, and require
+# cmd/musestat's -once snapshot to report the live session, the served
+# requests, and the per-scenario step counter.
+musestat-smoke:
+	@tmp=$$(mktemp -d); st=1; \
+	$(GO) build -o $$tmp/musesrv ./cmd/musesrv && \
+	$(GO) build -o $$tmp/musestat ./cmd/musestat && \
+	$$tmp/musesrv -addr 127.0.0.1:0 -addr-file $$tmp/addr & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		base="http://$$(cat $$tmp/addr)"; \
+		curl -fsS -X POST -d '{"scenario":"fig4"}' "$$base/v1/sessions" >/dev/null && \
+		$$tmp/musestat -once -url "$$base/metrics" >$$tmp/stat.txt && \
+		grep -q 'sessions  live 1' $$tmp/stat.txt && \
+		grep -q 'requests  2 total' $$tmp/stat.txt && \
+		grep -q 'steps     1 total' $$tmp/stat.txt && \
+		grep -q 'fig4 1' $$tmp/stat.txt && \
+		kill -TERM $$pid && wait $$pid && st=$$? && \
+		echo "musestat-smoke: console snapshot OK"; \
+	else \
+		echo "musestat-smoke: server did not come up"; kill $$pid 2>/dev/null; \
 	fi; \
 	rm -rf $$tmp; exit $$st
 

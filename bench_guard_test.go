@@ -15,7 +15,10 @@ package muse_test
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -24,6 +27,7 @@ import (
 	"muse/internal/designer"
 	"muse/internal/mapping"
 	"muse/internal/scenarios"
+	"muse/internal/server"
 )
 
 type baselineFile struct {
@@ -46,6 +50,25 @@ type instanceBaselineSection struct {
 		BytesPerOp int64 `json:"bytes_per_op"`
 	} `json:"benchmarks"`
 }
+
+// serverBaselineFile mirrors BENCH_server_baseline.json: the serving
+// wire-path snapshot with pre/post sections per benchmark. The guard
+// checks against post_pass.
+type serverBaselineFile struct {
+	Benchmarks map[string]struct {
+		PostPass struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"post_pass"`
+	} `json:"benchmarks"`
+}
+
+// serverAllocHeadroom is the slack multiplier for the serving
+// wire-path allocs/op guard. The request-correlation middleware runs
+// on every request even with observability disabled — a minted
+// request id, the status-capturing writer, the body cap — which is a
+// handful of fixed allocations the post-pass baseline predates; the
+// guard bounds that overhead instead of demanding equality.
+const serverAllocHeadroom = 1.3
 
 // bytesHeadroom is the slack multiplier for the bytes/op guard.
 // Unlike allocs/op, bytes/op wobbles a few percent run-to-run (map
@@ -193,4 +216,63 @@ func TestBenchGuard(t *testing.T) {
 		name := "BenchmarkProbeRetrieval/" + s.Name
 		check(name, r.AllocsPerOp(), retrBase.Benchmarks[name].AllocsPerOp)
 	}
+
+	// Serving wire path: one GET of an already-computed pending
+	// question with observability off entirely (nil Obs — no tracer,
+	// no span collector, no metrics), guarded against the server
+	// baseline's post-pass allocs/op with serverAllocHeadroom slack.
+	srvData, err := os.ReadFile("BENCH_server_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srvBase serverBaselineFile
+	if err := json.Unmarshal(srvData, &srvBase); err != nil {
+		t.Fatalf("BENCH_server_baseline.json: %v", err)
+	}
+	mg := server.NewManager(server.Builtin(), nil)
+	defer mg.Close()
+	h := server.New(mg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sessions", strings.NewReader(`{"scenario": "fig1"}`)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	var created struct {
+		Token string `json:"token"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := &discardRW{h: make(http.Header, 2)}
+			h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/sessions/"+created.Token, nil))
+			if w.code != http.StatusOK {
+				b.Fatalf("question: status %d", w.code)
+			}
+		}
+	})
+	want := srvBase.Benchmarks["BenchmarkServerStep"].PostPass.AllocsPerOp
+	if want == 0 {
+		t.Fatal("BenchmarkServerStep: no post_pass baseline entry")
+	}
+	limit := int64(float64(want) * serverAllocHeadroom)
+	got := r.AllocsPerOp()
+	if got > limit {
+		t.Errorf("BenchmarkServerStep(nil obs): %d allocs/op exceeds baseline %d + headroom (limit %d)", got, want, limit)
+	} else {
+		fmt.Printf("bench-guard %-40s %8d allocs/op (baseline %d, limit %d)\n", "BenchmarkServerStep(nil obs)", got, want, limit)
+	}
 }
+
+// discardRW discards the response body so the wire-path guard measures
+// the server's allocations, not a recorder's buffer growth.
+type discardRW struct {
+	h    http.Header
+	code int
+}
+
+func (w *discardRW) Header() http.Header         { return w.h }
+func (w *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardRW) WriteHeader(c int)           { w.code = c }

@@ -23,7 +23,6 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,7 +32,6 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -100,6 +98,7 @@ type Config struct {
 	ThinkMax    time.Duration `json:"think_max_ns"`
 	Abandon     float64       `json:"abandon"`
 	Timeout     time.Duration `json:"timeout_ns"`
+	Slowest     int           `json:"slowest"`
 	Report      string        `json:"-"`
 }
 
@@ -116,6 +115,7 @@ func parseFlags() Config {
 	flag.DurationVar(&cfg.ThinkMax, "think-max", 0, "maximum designer think time per answer")
 	flag.Float64Var(&cfg.Abandon, "abandon", 0, "fraction of dialogs abandoned mid-way [0,1)")
 	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	flag.IntVar(&cfg.Slowest, "slowest", 5, "report the server-side span breakdown for this many slowest steps (0 = off)")
 	flag.StringVar(&cfg.Report, "report", "", "write the JSON report here (default stdout)")
 	flag.Parse()
 
@@ -163,9 +163,31 @@ type Report struct {
 	// histogram scraped off /metrics (handler-side wall time, no
 	// network or queueing).
 	ServerStepSeconds Quantiles        `json:"server_step_seconds"`
-	ServerCounters    map[string]int64 `json:"server_counters"`
-	ErrorsTotal       int64            `json:"errors_total"`
-	ErrorSample       []string         `json:"error_sample,omitempty"`
+	ServerCounters map[string]int64 `json:"server_counters"`
+	// SlowestSteps closes the loop from load number to root cause: the
+	// client's slowest steps, each with the server-side span breakdown
+	// (chase vs query vs everything else) pulled off GET /debug/slow by
+	// the request id museload sent. Steps the server's flight recorder
+	// did not capture (under its threshold) carry client data only.
+	SlowestSteps []SlowStepReport `json:"slowest_steps,omitempty"`
+	ErrorsTotal  int64            `json:"errors_total"`
+	ErrorSample  []string         `json:"error_sample,omitempty"`
+}
+
+// SlowStepReport is one slow step correlated across the wire.
+type SlowStepReport struct {
+	RequestID     string  `json:"request_id"`
+	Route         string  `json:"route,omitempty"`
+	ClientSeconds float64 `json:"client_seconds"`
+	// Server-side fields, present when /debug/slow had the request id.
+	Captured      bool    `json:"captured"`
+	TraceID       string  `json:"trace_id,omitempty"`
+	ServerSeconds float64 `json:"server_seconds,omitempty"`
+	ChaseSeconds  float64 `json:"chase_seconds,omitempty"`
+	QuerySeconds  float64 `json:"query_seconds,omitempty"`
+	StepSeconds   float64 `json:"step_seconds,omitempty"` // core.step: wizard work toward the next question
+	OtherSeconds  float64 `json:"other_seconds,omitempty"`
+	Spans         int     `json:"spans,omitempty"`
 }
 
 type Sessions struct {
@@ -242,7 +264,7 @@ func (ld *loader) run() *Report {
 	if ld.cfg.Duration > 0 {
 		deadline = start.Add(ld.cfg.Duration)
 	}
-	lats := make([][]float64, ld.cfg.Concurrency)
+	recs := make([][]stepRec, ld.cfg.Concurrency)
 	var wg sync.WaitGroup
 	for w := 0; w < ld.cfg.Concurrency; w++ {
 		wg.Add(1)
@@ -263,15 +285,19 @@ func (ld *loader) run() *Report {
 				}
 				wk.dialog()
 			}
-			lats[w] = wk.lats
+			recs[w] = wk.recs
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []float64
-	for _, l := range lats {
-		all = append(all, l...)
+	var allRecs []stepRec
+	for _, l := range recs {
+		allRecs = append(allRecs, l...)
+	}
+	all := make([]float64, len(allRecs))
+	for i, rec := range allRecs {
+		all[i] = rec.lat
 	}
 	rep := &Report{
 		Recorded:       time.Now().UTC().Format("2006-01-02"),
@@ -297,10 +323,96 @@ func (ld *loader) run() *Report {
 	}
 	if err := ld.scrapeMetrics(rep); err != nil {
 		ld.noteErr("scraping /metrics: %v", err)
-		rep.ErrorsTotal = ld.errs.Load()
-		rep.ErrorSample = ld.errSample
 	}
+	if ld.cfg.Slowest > 0 {
+		if err := ld.reportSlowest(rep, allRecs); err != nil {
+			ld.noteErr("correlating slow steps: %v", err)
+		}
+	}
+	rep.ErrorsTotal = ld.errs.Load()
+	rep.ErrorSample = ld.errSample
 	return rep
+}
+
+// stepRec is one client-measured step with the request id that went
+// over the wire, so the server-side capture is addressable afterwards.
+type stepRec struct {
+	lat   float64
+	rid   string
+	route string
+}
+
+// wireSlow mirrors the GET /debug/slow payload (the server's SlowStep
+// plus its span records), as much of it as the breakdown needs.
+type wireSlow struct {
+	Steps []struct {
+		RequestID string `json:"request_id"`
+		TraceID   string `json:"trace_id"`
+		Route     string `json:"route"`
+		DurNS     int64  `json:"dur_ns"`
+		Spans     []struct {
+			Name  string `json:"name"`
+			DurNS int64  `json:"dur_ns"`
+		} `json:"spans"`
+	} `json:"steps"`
+}
+
+// reportSlowest fills rep.SlowestSteps: the top-K client latencies,
+// each joined (by request id) with the span tree the server's flight
+// recorder captured, reduced to the chase / query / other breakdown.
+func (ld *loader) reportSlowest(rep *Report, allRecs []stepRec) error {
+	sort.Slice(allRecs, func(i, j int) bool { return allRecs[i].lat > allRecs[j].lat })
+	k := ld.cfg.Slowest
+	if k > len(allRecs) {
+		k = len(allRecs)
+	}
+	if k == 0 {
+		return nil
+	}
+
+	resp, err := ld.client.Get(ld.cfg.Addr + "/debug/slow")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var slow wireSlow
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&slow); err != nil {
+			return err
+		}
+	} // 404 = flight recorder off: report client latencies alone
+
+	byRID := make(map[string]int, len(slow.Steps))
+	for i := range slow.Steps {
+		byRID[slow.Steps[i].RequestID] = i
+	}
+	for _, rec := range allRecs[:k] {
+		out := SlowStepReport{RequestID: rec.rid, Route: rec.route, ClientSeconds: rec.lat}
+		if i, ok := byRID[rec.rid]; ok {
+			st := slow.Steps[i]
+			out.Captured = true
+			out.TraceID = st.TraceID
+			out.Route = st.Route
+			out.ServerSeconds = float64(st.DurNS) / 1e9
+			for _, sp := range st.Spans {
+				switch sp.Name {
+				case obs.SpanChase:
+					out.ChaseSeconds += float64(sp.DurNS) / 1e9
+				case obs.SpanQueryEval:
+					out.QuerySeconds += float64(sp.DurNS) / 1e9
+				case obs.SpanCoreStep:
+					out.StepSeconds += float64(sp.DurNS) / 1e9
+				}
+			}
+			out.OtherSeconds = out.ServerSeconds - out.ChaseSeconds - out.QuerySeconds
+			if out.OtherSeconds < 0 {
+				out.OtherSeconds = 0
+			}
+			out.Spans = len(st.Spans)
+		}
+		rep.SlowestSteps = append(rep.SlowestSteps, out)
+	}
+	return nil
 }
 
 // exactQuantiles computes exact sample quantiles client-side (the
@@ -335,7 +447,7 @@ func exactQuantiles(lats []float64) Quantiles {
 type worker struct {
 	ld   *loader
 	rng  *rand.Rand
-	lats []float64
+	recs []stepRec
 }
 
 // wireStep is the part of the step envelope the answer policy needs.
@@ -461,16 +573,23 @@ func (wk *worker) think() {
 	time.Sleep(d)
 }
 
-// step issues one step-producing request, recording its latency.
+// step issues one step-producing request, recording its latency. Each
+// step carries a fresh client-minted request id, so a slow step's
+// server-side trace is addressable afterwards (reportSlowest).
 func (wk *worker) step(method, path, body string) (int, wireStep, error) {
 	var out wireStep
+	rid := obs.NewTraceID()
+	route := "answer"
+	if method == "POST" && path == "/v1/sessions" {
+		route = "create"
+	}
 	start := time.Now()
-	status, data, err := wk.do(method, path, body)
+	status, data, err := wk.doRID(method, path, body, rid)
 	lat := time.Since(start).Seconds()
 	if err != nil {
 		return 0, out, err
 	}
-	wk.lats = append(wk.lats, lat)
+	wk.recs = append(wk.recs, stepRec{lat: lat, rid: rid, route: route})
 	wk.ld.steps.Add(1)
 	if err := json.Unmarshal(data, &out); err != nil {
 		return status, out, fmt.Errorf("decoding %s %s: %w", method, path, err)
@@ -493,6 +612,10 @@ func (wk *worker) del(token string) {
 }
 
 func (wk *worker) do(method, path, body string) (int, []byte, error) {
+	return wk.doRID(method, path, body, "")
+}
+
+func (wk *worker) doRID(method, path, body, rid string) (int, []byte, error) {
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
@@ -503,6 +626,9 @@ func (wk *worker) do(method, path, body string) (int, []byte, error) {
 	}
 	if body != "" {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if rid != "" {
+		req.Header.Set("X-Muse-Request-Id", rid)
 	}
 	resp, err := wk.ld.client.Do(req)
 	if err != nil {
@@ -519,14 +645,16 @@ func (wk *worker) do(method, path, body string) (int, []byte, error) {
 // scrapeMetrics reads /metrics and fills the server-side view: the
 // step-latency quantiles (estimated from the histogram buckets with
 // the same interpolation the server's own WriteText uses) and the
-// muse_server_* counters.
+// muse_server_* counters. The parser is the shared
+// obs.ParsePromText, so museload and musestat read the exposition
+// identically.
 func (ld *loader) scrapeMetrics(rep *Report) error {
 	resp, err := ld.client.Get(ld.cfg.Addr + "/metrics")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	hists, counters, err := parseProm(resp.Body)
+	hists, counters, err := obs.ParsePromText(resp.Body)
 	if err != nil {
 		return err
 	}
@@ -540,92 +668,14 @@ func (ld *loader) scrapeMetrics(rep *Report) error {
 	if !ok {
 		return fmt.Errorf("no %s histogram on /metrics", obs.HSrvStepSeconds)
 	}
-	buckets := h.nonCumulative()
 	rep.ServerStepSeconds = Quantiles{
-		P50:   obs.QuantileFromBuckets(h.bounds, buckets, 0.50),
-		P95:   obs.QuantileFromBuckets(h.bounds, buckets, 0.95),
-		P99:   obs.QuantileFromBuckets(h.bounds, buckets, 0.99),
-		Count: h.count,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Count: h.Count,
 	}
-	if h.count > 0 {
-		rep.ServerStepSeconds.Mean = h.sum / float64(h.count)
+	if h.Count > 0 {
+		rep.ServerStepSeconds.Mean = h.Sum / float64(h.Count)
 	}
 	return nil
-}
-
-// promHist is one histogram reassembled from `_bucket{le="…"}` lines.
-type promHist struct {
-	bounds []float64 // finite bounds, ascending
-	cum    []int64   // cumulative counts per finite bound
-	inf    int64     // the +Inf cumulative count
-	sum    float64
-	count  int64
-}
-
-// nonCumulative converts to the per-bucket layout QuantileFromBuckets
-// wants (finite buckets plus one overflow).
-func (h *promHist) nonCumulative() []int64 {
-	out := make([]int64, len(h.cum)+1)
-	prev := int64(0)
-	for i, c := range h.cum {
-		out[i] = c - prev
-		prev = c
-	}
-	out[len(h.cum)] = h.inf - prev
-	return out
-}
-
-// parseProm reads a Prometheus text exposition, returning histograms
-// and scalar metrics (counters and gauges). Only the subset WriteText
-// emits is understood, which is all museload scrapes.
-func parseProm(r io.Reader) (map[string]*promHist, map[string]float64, error) {
-	hists := make(map[string]*promHist)
-	scalars := make(map[string]float64)
-	hist := func(name string) *promHist {
-		h, ok := hists[name]
-		if !ok {
-			h = &promHist{}
-			hists[name] = h
-		}
-		return h
-	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		name, rest, ok := strings.Cut(line, " ")
-		if !ok {
-			continue
-		}
-		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("parsing %q: %w", line, err)
-		}
-		switch {
-		case strings.Contains(name, "_bucket{le="):
-			base, leRaw, _ := strings.Cut(name, "_bucket{le=")
-			le := strings.Trim(strings.TrimSuffix(leRaw, "}"), `"`)
-			h := hist(base)
-			if le == "+Inf" {
-				h.inf = int64(val)
-				continue
-			}
-			bound, err := strconv.ParseFloat(le, 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("parsing bound in %q: %w", line, err)
-			}
-			h.bounds = append(h.bounds, bound)
-			h.cum = append(h.cum, int64(val))
-		case strings.HasSuffix(name, "_sum") && hists[strings.TrimSuffix(name, "_sum")] != nil:
-			hist(strings.TrimSuffix(name, "_sum")).sum = val
-		case strings.HasSuffix(name, "_count") && hists[strings.TrimSuffix(name, "_count")] != nil:
-			hist(strings.TrimSuffix(name, "_count")).count = int64(val)
-		default:
-			scalars[name] = val
-		}
-	}
-	return hists, scalars, sc.Err()
 }

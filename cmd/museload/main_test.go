@@ -24,7 +24,7 @@ func TestParsePromRoundTrip(t *testing.T) {
 	if err := r.WriteText(&buf); err != nil {
 		t.Fatal(err)
 	}
-	hists, scalars, err := parseProm(strings.NewReader(buf.String()))
+	hists, scalars, err := obs.ParsePromText(strings.NewReader(buf.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,12 +35,12 @@ func TestParsePromRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("histogram missing from scrape")
 	}
-	if ph.count != 1000 {
-		t.Errorf("count = %d, want 1000", ph.count)
+	if ph.Count != 1000 {
+		t.Errorf("count = %d, want 1000", ph.Count)
 	}
 	for _, p := range []float64{0.5, 0.95, 0.99} {
 		want := h.Quantile(p)
-		got := obs.QuantileFromBuckets(ph.bounds, ph.nonCumulative(), p)
+		got := ph.Quantile(p)
 		if math.Abs(got-want) > 1e-12 {
 			t.Errorf("scraped Quantile(%g) = %g, live = %g", p, got, want)
 		}

@@ -8,10 +8,20 @@
 //
 //	musesrv [-addr :8080] [-max-sessions 64] [-session-ttl 30m (alias -ttl)]
 //	        [-prime=false] [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
+//	        [-trace spans.jsonl] [-access-log access.jsonl]
+//	        [-slow-threshold 250ms] [-slow-cap 64] [-debug-addr 127.0.0.1:6060]
 //
 // With no -doc the server offers the built-in paper scenarios "fig1"
 // and "fig4". A -doc flag adds the document's mapping set as a
 // scenario named by -name (default "doc").
+//
+// Observability: every request gets an X-Muse-Request-Id (accepted
+// from the client or minted) and a correlated span tree; -trace
+// streams finished spans as JSONL, -access-log writes one JSON line
+// per request, the flight recorder keeps the last -slow-cap steps
+// slower than -slow-threshold at GET /debug/slow (0 captures every
+// step, -1 disables), and -debug-addr exposes net/http/pprof and
+// expvar on a separate listener (keep it private).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests drain (bounded by -shutdown-timeout), then every live
@@ -22,10 +32,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +61,11 @@ func main() {
 	tgt := flag.String("tgt", "", "target schema name (with -doc)")
 	inst := flag.String("instance", "", "source instance to draw examples from (with -doc, optional)")
 	name := flag.String("name", "doc", "scenario name for the -doc mapping set")
+	tracePath := flag.String("trace", "", "stream finished spans to this file as JSONL")
+	accessPath := flag.String("access-log", "", "write one JSON line per request to this file")
+	slowThreshold := flag.Duration("slow-threshold", server.DefaultSlowThreshold, "flight-record steps at least this slow (0 = every step, negative = off)")
+	slowCap := flag.Int("slow-cap", server.DefaultSlowCap, "slow steps retained for GET /debug/slow")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = off; keep it private)")
 	flag.Parse()
 
 	scenarios := server.Builtin()
@@ -72,6 +89,14 @@ func main() {
 	}
 
 	o := muse.NewObs()
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		o.Tr.SetSink(f)
+	}
 	mg := server.NewManager(scenarios, o)
 	mg.MaxSessions = *maxSessions
 	mg.TTL = *sessionTTL
@@ -92,7 +117,25 @@ func main() {
 	}
 	log.Printf("musesrv listening on %s (%d scenario(s))", ln.Addr(), len(scenarios))
 
-	hs := &http.Server{Handler: server.New(mg)}
+	srv := server.New(mg)
+	if *slowThreshold < 0 {
+		srv.Flight = nil
+	} else {
+		srv.Flight = server.NewFlightRecorder(*slowThreshold, *slowCap)
+	}
+	if *accessPath != "" {
+		f, err := os.Create(*accessPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		srv.Access = server.NewAccessLog(f)
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+
+	hs := &http.Server{Handler: srv}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 
@@ -112,5 +155,22 @@ func main() {
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
+	}
+}
+
+// serveDebug exposes the profiling endpoints on their own listener so
+// the serving port never leaks pprof/expvar: /debug/pprof/* and
+// /debug/vars, the stock net/http/pprof and expvar handlers.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	log.Printf("musesrv: debug endpoints on http://%s/debug/pprof/ and /debug/vars", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("musesrv: debug listener: %v", err)
 	}
 }

@@ -1,0 +1,223 @@
+// Command musestat is a terminal console for a running musesrv: it
+// polls GET /metrics and renders live RED stats — live sessions,
+// steps/s, error rate, windowed p50/p95/p99 step latency, and the
+// busiest scenarios — refreshing in place every -interval.
+//
+// Usage:
+//
+//	musestat [-url http://127.0.0.1:8080/metrics] [-interval 2s]
+//	         [-top 5] [-once] [-no-clear]
+//
+// -once scrapes a single snapshot, prints it without clearing the
+// screen, and exits — quantiles and rates are then cumulative since
+// server start. That mode is what CI smoke tests drive.
+//
+// The quantiles come from the same bucket interpolation the server
+// uses (internal/obs), so the numbers here match what museload and the
+// server's own reports would say for the same traffic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"muse/internal/obs"
+)
+
+// sample is one scrape of /metrics, timestamped so consecutive samples
+// yield windowed rates and quantiles.
+type sample struct {
+	at      time.Time
+	hists   map[string]*obs.PromHist
+	scalars map[string]float64
+}
+
+func main() {
+	log.SetFlags(0)
+	url := flag.String("url", "http://127.0.0.1:8080/metrics", "metrics endpoint to poll")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period")
+	top := flag.Int("top", 5, "scenarios to show")
+	once := flag.Bool("once", false, "print one snapshot and exit (for CI)")
+	noClear := flag.Bool("no-clear", false, "append refreshes instead of redrawing in place")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	cur, err := scrape(client, *url)
+	if err != nil {
+		log.Fatalf("musestat: %v", err)
+	}
+	if *once {
+		render(os.Stdout, *url, cur, nil, *top)
+		return
+	}
+	prev := cur
+	for {
+		if !*noClear {
+			fmt.Print("\033[H\033[2J")
+		}
+		render(os.Stdout, *url, cur, prev, *top)
+		time.Sleep(*interval)
+		next, err := scrape(client, *url)
+		if err != nil {
+			log.Printf("musestat: scrape: %v (retrying)", err)
+			continue
+		}
+		prev, cur = cur, next
+	}
+}
+
+func scrape(client *http.Client, url string) (*sample, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	hists, scalars, err := obs.ParsePromText(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &sample{at: time.Now(), hists: hists, scalars: scalars}, nil
+}
+
+// render writes one console frame. prev == cur means the first live
+// frame (zero window, cumulative numbers); prev == nil means -once
+// (cumulative, no rates).
+func render(w io.Writer, url string, cur, prev *sample, top int) {
+	window := 0.0
+	windowed := prev != nil && prev != cur
+	if windowed {
+		window = cur.at.Sub(prev.at).Seconds()
+	}
+	mode := "cumulative"
+	if windowed && window > 0 {
+		mode = fmt.Sprintf("window %.1fs", window)
+	}
+	fmt.Fprintf(w, "musestat  %s  %s  (%s)\n\n", url, cur.at.Format("15:04:05"), mode)
+
+	g := func(name string) float64 { return cur.scalars[name] }
+	delta := func(name string) float64 {
+		if windowed {
+			return cur.scalars[name] - prev.scalars[name]
+		}
+		return cur.scalars[name]
+	}
+	rate := func(name string) string {
+		if !windowed || window <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f/s", delta(name)/window)
+	}
+
+	fmt.Fprintf(w, "sessions  live %.0f   started %.0f   finished %.0f   evicted %.0f   rejected %.0f\n",
+		g(obs.GSrvSessionsLive), g(obs.MSrvSessionsStarted), g(obs.MSrvSessionsFinished),
+		g(obs.MSrvSessionsEvicted), g(obs.MSrvSessionsRejected))
+
+	reqs, errs := delta(obs.MSrvRequests), delta(obs.MSrvErrors)
+	errPct := 0.0
+	if reqs > 0 {
+		errPct = 100 * errs / reqs
+	}
+	fmt.Fprintf(w, "requests  %.0f total   %s   errors %.0f (%.1f%%)\n",
+		g(obs.MSrvRequests), rate(obs.MSrvRequests), errs, errPct)
+
+	// Step latency: a windowed histogram when we have two scrapes with
+	// observations between them, else the cumulative distribution.
+	h := cur.hists[obs.HSrvStepSeconds]
+	steps, stepRate := 0.0, "-"
+	if h != nil {
+		steps = float64(h.Count)
+		if windowed {
+			win := h.Sub(prev.hists[obs.HSrvStepSeconds])
+			if win.Count > 0 {
+				h = win
+			}
+			if window > 0 {
+				stepRate = fmt.Sprintf("%.1f/s", float64(win.Count)/window)
+			}
+		}
+	}
+	fmt.Fprintf(w, "steps     %.0f total   %s   slow captured %.0f\n",
+		steps, stepRate, g(obs.MSrvSlowSteps))
+	if h != nil && h.Count > 0 {
+		fmt.Fprintf(w, "latency   p50 %s   p95 %s   p99 %s   (n=%d)\n",
+			fmtSeconds(h.Quantile(0.50)), fmtSeconds(h.Quantile(0.95)), fmtSeconds(h.Quantile(0.99)), h.Count)
+	} else {
+		fmt.Fprintf(w, "latency   (no steps yet)\n")
+	}
+
+	if rows := topScenarios(cur, prev, top); len(rows) > 0 {
+		fmt.Fprintf(w, "scenarios ")
+		for i, sc := range rows {
+			if i > 0 {
+				fmt.Fprint(w, "   ")
+			}
+			fmt.Fprintf(w, "%s %.0f", sc.name, sc.total)
+			if windowed && window > 0 {
+				fmt.Fprintf(w, " (%.1f/s)", sc.delta/window)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+type scenarioRow struct {
+	name  string
+	total float64 // cumulative steps
+	delta float64 // steps this window (== total when cumulative)
+}
+
+// topScenarios extracts the per-scenario step counters
+// (muse_server_scenario_steps_total{scenario="…"}) and ranks them by
+// windowed activity, cumulative count breaking ties.
+func topScenarios(cur, prev *sample, top int) []scenarioRow {
+	prefix := obs.MSrvScenarioSteps + `{scenario="`
+	var rows []scenarioRow
+	for name, val := range cur.scalars {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		sc := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+		d := val
+		if prev != nil && prev != cur {
+			d = val - prev.scalars[name]
+		}
+		rows = append(rows, scenarioRow{name: sc, total: val, delta: d})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].delta != rows[j].delta {
+			return rows[i].delta > rows[j].delta
+		}
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].name < rows[j].name
+	})
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	return rows
+}
+
+// fmtSeconds renders a latency with a unit sized to its magnitude.
+func fmtSeconds(s float64) string {
+	switch {
+	case s != s: // NaN: empty window
+		return "-"
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}

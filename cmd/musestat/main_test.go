@@ -1,0 +1,147 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"muse/internal/obs"
+)
+
+// mkSample scrapes a registry through the same WriteText → ParsePromText
+// path the live console uses.
+func mkSample(t *testing.T, r *obs.Registry, at time.Time) *sample {
+	t.Helper()
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hists, scalars, err := obs.ParsePromText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sample{at: at, hists: hists, scalars: scalars}
+}
+
+func TestRenderOnceSnapshot(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge(obs.GSrvSessionsLive).Set(3)
+	r.Counter(obs.MSrvRequests).Add(100)
+	r.Counter(obs.MSrvErrors).Add(5)
+	r.Counter(obs.LabeledName(obs.MSrvScenarioSteps, "scenario", "fig1")).Add(60)
+	r.Counter(obs.LabeledName(obs.MSrvScenarioSteps, "scenario", "fig4")).Add(30)
+	h := r.Histogram(obs.HSrvStepSeconds, obs.SrvStepSecondsBounds...)
+	for i := 0; i < 90; i++ {
+		h.Observe(0.002)
+	}
+	cur := mkSample(t, r, time.Unix(100, 0))
+
+	var out strings.Builder
+	render(&out, "http://x/metrics", cur, nil, 5)
+	text := out.String()
+	for _, want := range []string{
+		"cumulative",
+		"live 3",
+		"100 total",
+		"errors 5 (5.0%)",
+		"steps     90 total",
+		"p50 ",
+		"fig1 60",
+		"fig4 30",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, text)
+		}
+	}
+	// -once has no window, so no rates appear.
+	if strings.Contains(text, "/s)") {
+		t.Errorf("cumulative snapshot should not print windowed rates:\n%s", text)
+	}
+}
+
+func TestRenderWindowedRates(t *testing.T) {
+	r := obs.NewRegistry()
+	req := r.Counter(obs.MSrvRequests)
+	h := r.Histogram(obs.HSrvStepSeconds, obs.SrvStepSecondsBounds...)
+	fig1 := r.Counter(obs.LabeledName(obs.MSrvScenarioSteps, "scenario", "fig1"))
+
+	req.Add(10)
+	h.Observe(0.001)
+	fig1.Add(1)
+	prev := mkSample(t, r, time.Unix(100, 0))
+
+	req.Add(20) // +20 over a 2s window = 10.0/s
+	for i := 0; i < 8; i++ {
+		h.Observe(0.004) // windowed p50 reflects only these
+	}
+	fig1.Add(6) // 3.0/s
+	cur := mkSample(t, r, time.Unix(102, 0))
+
+	var out strings.Builder
+	render(&out, "http://x/metrics", cur, prev, 5)
+	text := out.String()
+	for _, want := range []string{
+		"window 2.0s",
+		"30 total   10.0/s",
+		"4.0/s", // 8 steps / 2s
+		"(n=8)",
+		"fig1 7 (3.0/s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("windowed frame missing %q:\n%s", want, text)
+		}
+	}
+	// The windowed p50 must sit in the 2.5–5ms bucket, not near the
+	// cumulative 1ms observation.
+	if q := cur.hists[obs.HSrvStepSeconds].Sub(prev.hists[obs.HSrvStepSeconds]).Quantile(0.5); q < 0.0025 || q > 0.005 {
+		t.Errorf("windowed p50 = %g, want within (0.0025, 0.005]", q)
+	}
+}
+
+func TestTopScenariosRanking(t *testing.T) {
+	r := obs.NewRegistry()
+	a := r.Counter(obs.LabeledName(obs.MSrvScenarioSteps, "scenario", "alpha"))
+	b := r.Counter(obs.LabeledName(obs.MSrvScenarioSteps, "scenario", "beta"))
+	c := r.Counter(obs.LabeledName(obs.MSrvScenarioSteps, "scenario", "gamma"))
+	a.Add(100)
+	b.Add(50)
+	c.Add(10)
+	prev := mkSample(t, r, time.Unix(0, 0))
+	// beta is the most active this window despite the smaller total.
+	b.Add(30)
+	c.Add(5)
+	cur := mkSample(t, r, time.Unix(2, 0))
+
+	rows := topScenarios(cur, prev, 2)
+	if len(rows) != 2 || rows[0].name != "beta" || rows[1].name != "gamma" {
+		t.Fatalf("windowed ranking wrong: %+v", rows)
+	}
+	if rows[0].delta != 30 || rows[0].total != 80 {
+		t.Errorf("beta row = %+v, want delta 30 total 80", rows[0])
+	}
+
+	// Cumulative mode (prev == nil) ranks by total.
+	rows = topScenarios(cur, nil, 0)
+	if len(rows) != 3 || rows[0].name != "alpha" || rows[1].name != "beta" || rows[2].name != "gamma" {
+		t.Fatalf("cumulative ranking wrong: %+v", rows)
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.5, "2.50s"},
+		{0.0123, "12.3ms"},
+		{0.00042, "420µs"},
+	}
+	for _, c := range cases {
+		if got := fmtSeconds(c.in); got != c.want {
+			t.Errorf("fmtSeconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := fmtSeconds((&obs.PromHist{}).Quantile(0.5)); got != "-" {
+		t.Errorf("NaN quantile rendered %q, want -", got)
+	}
+}

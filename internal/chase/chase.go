@@ -58,7 +58,7 @@ func ChaseCtx(ctx context.Context, src *instance.Instance, o *obs.Obs, ms ...*ma
 	if workers > len(ms) {
 		workers = len(ms)
 	}
-	sp := o.Start(obs.SpanChase)
+	sp, ctx := o.StartCtx(ctx, obs.SpanChase)
 	if o != nil {
 		o.Counter(obs.MChaseRuns).Inc()
 		o.Gauge(obs.GChaseWorkers).Set(int64(workers))
@@ -175,7 +175,7 @@ func chaseOne(ctx context.Context, src *instance.Instance, m *mapping.Mapping, i
 	if err != nil {
 		return err
 	}
-	sp := o.Start(obs.SpanChaseMapping)
+	sp, _ := o.StartCtx(ctx, obs.SpanChaseMapping)
 	e := newEvaluator(src, m, info)
 	e.ctx = ctx
 	err = e.each(func(asg assignment) error {

@@ -119,7 +119,9 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	if _, err := m.Analyze(); err != nil {
 		return nil, err
 	}
-	sp := w.Obs.Start(obs.SpanMuseD)
+	// The span parents into the current request's trace; the example
+	// retrieval and the partial chase below run under its context.
+	sp, sctx := w.Obs.StartCtx(w.context(), obs.SpanMuseD)
 	defer sp.End()
 
 	// One copy of the canonical tableau; the or-group alternatives must
@@ -150,7 +152,9 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	real := false
 	var valueOf func(e mapping.Expr) instance.Value
 	if w.Real != nil {
-		if match, ok, _ := q.FirstOpts(w.Real, w.retrieval()); ok {
+		opt := w.retrieval()
+		opt.Ctx = sctx
+		if match, ok, _ := q.FirstOpts(w.Real, opt); ok {
 			ie = tb.fromMatch(match, w.Real)
 			real = true
 			valueOf = func(e mapping.Expr) instance.Value {
@@ -174,7 +178,7 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	// dropped), leaving nulls in the ambiguous slots.
 	common := m.Clone()
 	common.OrGroups = nil
-	target, err := chase.ChaseCtx(w.context(), ie, w.Obs, common)
+	target, err := chase.ChaseCtx(sctx, ie, w.Obs, common)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +195,10 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 	question := &ChoiceQuestion{
 		Mapping: m, Source: ie, Real: real, Target: target, Choices: choices,
 	}
+	// End as the question is posed (see askProbe): the selection
+	// arrives with the next request, and the span must land in the
+	// trace of the request that built the example and partial chase.
+	sp.Attr("mapping", m.Name).Attr("alternatives", m.AlternativeCount()).Attr("real", real).End()
 	selected, err := d.SelectValues(question)
 	if err != nil {
 		return nil, err
@@ -218,7 +226,6 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 			r.Counter(obs.MMuseDSyntheticExamples).Inc()
 		}
 		r.Counter(obs.MMuseDSourceTuples).Add(int64(ie.TupleCount()))
-		sp.Attr("mapping", m.Name).Attr("alternatives", m.AlternativeCount()).Attr("real", real)
 	}
 	return out, nil
 }

@@ -262,14 +262,18 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 	if err != nil {
 		return 0, false, err
 	}
-	sp := w.Obs.Start(obs.SpanMuseGProbe)
+	// The probe span parents into the CURRENT request's trace —
+	// w.context() is re-pointed by Stepper.install per request, so the
+	// two scenario chases below land in the trace of the request whose
+	// answer triggered this probe.
+	sp, pctx := w.Obs.StartCtx(w.context(), obs.SpanMuseGProbe)
 	defer sp.End()
 	chaseStart := time.Now()
-	s1, err := chase.ChaseCtx(w.context(), ie, w.Obs, d1)
+	s1, err := chase.ChaseCtx(pctx, ie, w.Obs, d1)
 	if err != nil {
 		return 0, false, err
 	}
-	s2, err := chase.ChaseCtx(w.context(), ie, w.Obs, d2)
+	s2, err := chase.ChaseCtx(pctx, ie, w.Obs, d2)
 	if err != nil {
 		return 0, false, err
 	}
@@ -283,10 +287,10 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 			stats.RealExamples--
 			stats.SyntheticExamples++
 			chaseStart = time.Now()
-			if s1, err = chase.ChaseCtx(w.context(), ie, w.Obs, d1); err != nil {
+			if s1, err = chase.ChaseCtx(pctx, ie, w.Obs, d1); err != nil {
 				return 0, false, err
 			}
-			if s2, err = chase.ChaseCtx(w.context(), ie, w.Obs, d2); err != nil {
+			if s2, err = chase.ChaseCtx(pctx, ie, w.Obs, d2); err != nil {
 				return 0, false, err
 			}
 			stats.ChaseTime += time.Since(chaseStart)
@@ -315,6 +319,12 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 		w.spawnPrefetch(m, fn, poss, with, decidedOut, *next, alwaysDiffer)
 		w.spawnPrefetch(m, fn, poss, confirmed, outPlus, *next, alwaysDiffer)
 	}
+	// End the span as the question is posed, not when it is answered:
+	// the designer's think time crosses requests (the answer arrives
+	// with the next HTTP call), and the flight recorder needs the
+	// probe's compute spans completed within the request that did the
+	// work. The deferred End above is then a no-op.
+	sp.Attr("probe", probe.String()).Attr("real", real).End()
 	ans, err := d.ChooseScenario(q)
 	if err != nil {
 		return 0, false, err
@@ -323,7 +333,6 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 		return 0, false, fmt.Errorf("core: designer answered %d, want 1 or 2", ans)
 	}
 	stats.Questions++
-	sp.Attr("probe", probe.String()).Attr("real", real).Attr("answer", ans)
 	return ans, false, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"muse/internal/mapping"
+	"muse/internal/obs"
 )
 
 // ErrInvalidAnswer marks an answer that does not fit the pending
@@ -95,7 +96,29 @@ type Stepper struct {
 	// currently installed work context to lifetime.
 	stopRelay func() bool
 
+	// stepSpan is the open core.step span covering the wizard work
+	// toward the next question (opened by NewStepper/Answer, ended when
+	// Step delivers). Callers serialize Step/Answer, so no lock.
+	stepSpan *obs.Span
+
 	closeOnce sync.Once
+}
+
+// obsHandle returns the session's observability bundle (nil when the
+// session is uninstrumented; every use is nil-safe).
+func (st *Stepper) obsHandle() *obs.Obs {
+	if st.session == nil || st.session.Grouping == nil {
+		return nil
+	}
+	return st.session.Grouping.Obs
+}
+
+// endStepSpan closes the open core.step span, if any.
+func (st *Stepper) endStepSpan() {
+	if st.stepSpan != nil {
+		st.stepSpan.Attr("seq", st.seq).End()
+		st.stepSpan = nil
+	}
 }
 
 // NewStepper starts the full design pipeline (Muse-D then Muse-G, as
@@ -113,7 +136,13 @@ func NewStepper(ctx context.Context, s *Session, set *mapping.Set) *Stepper {
 		questions: make(chan *pendingQ),
 		finished:  make(chan struct{}),
 	}
-	st.install(ctx)
+	// The work toward the first question runs under a core.step span
+	// parented into ctx's trace (when one is carried): install hands
+	// the span-deriving context to the wizards, so their chase/query
+	// spans become its children.
+	sp, wctx := st.obsHandle().StartCtx(ctx, obs.SpanCoreStep)
+	st.stepSpan = sp
+	st.install(wctx)
 	d := &chanDesigner{st: st}
 	d.p.reply = make(chan Answer)
 	go func() {
@@ -203,6 +232,7 @@ func (st *Stepper) Step(ctx context.Context) (Step, error) {
 	}
 	select {
 	case <-st.finished:
+		st.endStepSpan()
 		return st.terminalStep(), nil
 	default:
 	}
@@ -213,8 +243,10 @@ func (st *Stepper) Step(ctx context.Context) (Step, error) {
 	case p := <-st.questions:
 		st.seq++
 		st.cur = p
+		st.endStepSpan()
 		return st.pendingStep(), nil
 	case <-st.finished:
+		st.endStepSpan()
 		return st.terminalStep(), nil
 	case <-ctx.Done():
 		return Step{}, ctx.Err()
@@ -245,7 +277,13 @@ func (st *Stepper) Answer(ctx context.Context, a Answer) (Step, error) {
 	if err := validateAnswer(st.cur, a); err != nil {
 		return Step{}, err
 	}
-	st.install(ctx)
+	// One core.step span per accepted answer: it parents the wizard
+	// work toward the next question (install hands its context to the
+	// wizards) and ends when Step delivers that question.
+	st.endStepSpan()
+	sp, wctx := st.obsHandle().StartCtx(ctx, obs.SpanCoreStep)
+	st.stepSpan = sp
+	st.install(wctx)
 	p := st.cur
 	st.cur = nil
 	select {

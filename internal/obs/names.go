@@ -63,6 +63,9 @@ const (
 	MSrvInvalidAnswers   = "muse_server_invalid_answers_total"   // answers rejected with 400/422
 	GSrvSessionsLive     = "muse_server_sessions_live"           // sessions currently held
 	HSrvStepSeconds      = "muse_server_step_seconds"            // wall time to compute+render one step
+	MSrvErrors           = "muse_server_errors_total"            // requests answered with an {error,code} body
+	MSrvSlowSteps        = "muse_server_slow_steps_total"        // steps captured by the flight recorder
+	MSrvScenarioSteps    = "muse_server_scenario_steps_total"    // per-scenario step counters (LabeledName)
 )
 
 // SrvStepSecondsBounds buckets the server's per-step latency
@@ -80,7 +83,9 @@ const (
 	SpanChaseMapping = "chase.mapping"      // one mapping's chase: mapping, assignments, tuples, nulls
 	SpanQueryEval    = "query.eval"         // one Eval: atoms, matches, scanned
 	SpanMuseGSK      = "museg.design_sk"    // one grouping function: mapping, sk, questions
-	SpanMuseGProbe   = "museg.probe"        // one probe question: probe, real, answer
+	SpanMuseGProbe   = "museg.probe"        // one probe question's compute: probe, real
 	SpanMuseD        = "mused.disambiguate" // one Muse-D question: mapping, alternatives, real
 	SpanGen          = "gen.generate"       // one mapping-generation run
+	SpanSrvRequest   = "server.request"     // one HTTP request: route, status, request id
+	SpanCoreStep     = "core.step"          // one Stepper wait for the next question/result
 )

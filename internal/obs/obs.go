@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -72,10 +75,11 @@ var DefSecondsBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 // counts are computed at snapshot time). The nil Histogram discards
 // all observations.
 type Histogram struct {
-	bounds  []float64 // ascending upper bounds; +Inf is implicit
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64 // ascending upper bounds; +Inf is implicit
+	boundStrs []string  // formatBound(bounds[i]), memoized once at creation
+	buckets   []atomic.Int64
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // float64 bits, CAS-updated
 }
 
 // Observe records one observation.
@@ -183,6 +187,9 @@ type Metric struct {
 	Sum     float64
 	Bounds  []float64
 	Buckets []int64
+	// BoundLabels are the pre-formatted `le` label values for Bounds
+	// (same length), memoized once when the histogram is created.
+	BoundLabels []string
 }
 
 // Quantile estimates the p-quantile of a histogram Metric (NaN for
@@ -262,7 +269,13 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 		}
 		bs = append([]float64(nil), bs...)
 		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+		// Bucket-bound label strings never change after creation, so
+		// format them once here instead of on every WriteText scrape.
+		strs := make([]string, len(bs))
+		for i, b := range bs {
+			strs[i] = formatBound(b)
+		}
+		h = &Histogram{bounds: bs, boundStrs: strs, buckets: make([]atomic.Int64, len(bs)+1)}
 		r.hists[name] = h
 	}
 	return h
@@ -303,10 +316,11 @@ func (r *Registry) Snapshot() []Metric {
 	for name, h := range r.hists {
 		m := Metric{
 			Name: name, Kind: KindHistogram,
-			Count:   h.count.Load(),
-			Sum:     math.Float64frombits(h.sumBits.Load()),
-			Bounds:  h.bounds,
-			Buckets: make([]int64, len(h.buckets)),
+			Count:       h.count.Load(),
+			Sum:         math.Float64frombits(h.sumBits.Load()),
+			Bounds:      h.bounds,
+			BoundLabels: h.boundStrs,
+			Buckets:     make([]int64, len(h.buckets)),
 		}
 		for i := range h.buckets {
 			m.Buckets[i] = h.buckets[i].Load()
@@ -323,20 +337,36 @@ func (r *Registry) Snapshot() []Metric {
 // lines plus `_sum`/`_count` for histograms. A nil Registry writes
 // nothing.
 func (r *Registry) WriteText(w io.Writer) error {
+	lastType := ""
 	for _, m := range r.Snapshot() {
+		// Labeled series (muse_x_total{scenario="a"}) share one TYPE
+		// line under their base name; the snapshot is name-sorted so
+		// all label values of one base name are adjacent.
+		base := BaseName(m.Name)
 		switch m.Kind {
 		case KindCounter, KindGauge:
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.Name, m.Kind, m.Name, m.Value); err != nil {
+			if base != lastType {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, m.Kind); err != nil {
+					return err
+				}
+				lastType = base
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
 				return err
 			}
 		case KindHistogram:
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.Name); err != nil {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
 				return err
 			}
+			lastType = base
 			cum := int64(0)
-			for i, b := range m.Bounds {
+			for i := range m.Bounds {
 				cum += m.Buckets[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, formatBound(b), cum); err != nil {
+				lbl := formatBound(m.Bounds[i])
+				if len(m.BoundLabels) == len(m.Bounds) {
+					lbl = m.BoundLabels[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, lbl, cum); err != nil {
 					return err
 				}
 			}
@@ -361,6 +391,23 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 func formatBound(b float64) string {
 	return fmt.Sprintf("%g", b)
+}
+
+// BaseName strips a `{label="value"}` suffix off a metric name, so
+// labeled series map back to the family they belong to.
+func BaseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// LabeledName composes a metric name carrying one label pair, e.g.
+// LabeledName("muse_x_total", "scenario", "fig1") →
+// `muse_x_total{scenario="fig1"}`. The registry treats the result as
+// an opaque name; WriteText groups it under the base name's TYPE line.
+func LabeledName(base, label, value string) string {
+	return base + "{" + label + "=" + strconv.Quote(value) + "}"
 }
 
 // Obs bundles a Registry and a Tracer; the wizards, the chase engine
@@ -417,4 +464,13 @@ func (o *Obs) Start(name string) *Span {
 		return nil
 	}
 	return o.Tr.Start(name)
+}
+
+// StartCtx opens a span on the bundled tracer as a child of the trace
+// carried by ctx (see Tracer.StartCtx). The nil Obs returns (nil, ctx).
+func (o *Obs) StartCtx(ctx context.Context, name string) (*Span, context.Context) {
+	if o == nil {
+		return nil, ctx
+	}
+	return o.Tr.StartCtx(ctx, name)
 }

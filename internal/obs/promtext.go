@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromHist is one histogram reassembled from the `_bucket{le="…"}`,
+// `_sum` and `_count` lines of a Prometheus text exposition — the
+// scrape-side mirror of Histogram. Clients that read /metrics
+// (cmd/museload, cmd/musestat) use it so their quantile estimates
+// match the serving process's own.
+type PromHist struct {
+	Bounds []float64 // finite bounds, ascending
+	Cum    []int64   // cumulative counts per finite bound
+	Inf    int64     // the +Inf cumulative count
+	Sum    float64
+	Count  int64
+}
+
+// NonCumulative converts to the per-bucket layout QuantileFromBuckets
+// wants (finite buckets plus one overflow).
+func (h *PromHist) NonCumulative() []int64 {
+	out := make([]int64, len(h.Cum)+1)
+	prev := int64(0)
+	for i, c := range h.Cum {
+		out[i] = c - prev
+		prev = c
+	}
+	out[len(h.Cum)] = h.Inf - prev
+	return out
+}
+
+// Quantile estimates the p-quantile of the scraped distribution (see
+// QuantileFromBuckets). NaN on a nil or empty histogram.
+func (h *PromHist) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	return QuantileFromBuckets(h.Bounds, h.NonCumulative(), p)
+}
+
+// Sub returns the histogram of observations that landed between prev
+// and h (both scrapes of the same series, prev earlier), for windowed
+// quantiles over a polling interval. A nil or shape-mismatched prev
+// yields a copy of h.
+func (h *PromHist) Sub(prev *PromHist) *PromHist {
+	out := &PromHist{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Cum:    append([]int64(nil), h.Cum...),
+		Inf:    h.Inf,
+		Sum:    h.Sum,
+		Count:  h.Count,
+	}
+	if prev == nil || len(prev.Cum) != len(h.Cum) {
+		return out
+	}
+	for i := range out.Cum {
+		out.Cum[i] -= prev.Cum[i]
+	}
+	out.Inf -= prev.Inf
+	out.Sum -= prev.Sum
+	out.Count -= prev.Count
+	return out
+}
+
+// ParsePromText reads a Prometheus text exposition, returning the
+// histograms and the scalar metrics (counters and gauges, keyed by
+// their full name including any `{label="…"}` suffix). Only the subset
+// Registry.WriteText emits is understood, which is all the muse
+// clients scrape.
+func ParsePromText(r io.Reader) (map[string]*PromHist, map[string]float64, error) {
+	hists := make(map[string]*PromHist)
+	scalars := make(map[string]float64)
+	hist := func(name string) *PromHist {
+		h, ok := hists[name]
+		if !ok {
+			h = &PromHist{}
+			hists[name] = h
+		}
+		return h
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A labeled sample (`name{l="v"} 3`) has its space inside the
+		// value part only; cut at the last space so label values with
+		// spaces stay intact.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		name, rest := line[:i], line[i+1:]
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		switch {
+		case strings.Contains(name, "_bucket{le="):
+			base, leRaw, _ := strings.Cut(name, "_bucket{le=")
+			le := strings.Trim(strings.TrimSuffix(leRaw, "}"), `"`)
+			h := hist(base)
+			if le == "+Inf" {
+				h.Inf = int64(val)
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parsing bound in %q: %w", line, err)
+			}
+			h.Bounds = append(h.Bounds, bound)
+			h.Cum = append(h.Cum, int64(val))
+		case strings.HasSuffix(name, "_sum") && hists[strings.TrimSuffix(name, "_sum")] != nil:
+			hist(strings.TrimSuffix(name, "_sum")).Sum = val
+		case strings.HasSuffix(name, "_count") && hists[strings.TrimSuffix(name, "_count")] != nil:
+			hist(strings.TrimSuffix(name, "_count")).Count = int64(val)
+		default:
+			scalars[name] = val
+		}
+	}
+	return hists, scalars, sc.Err()
+}

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"io"
+	mrand "math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 )
@@ -16,23 +19,132 @@ type Attr struct {
 	Val any
 }
 
-// SpanRecord is a finished span as kept in the tracer's ring.
+// SpanRecord is a finished span as kept in the tracer's ring. TraceID
+// groups every span of one logical operation (one HTTP request on the
+// server); SpanID identifies this span and ParentID its enclosing
+// span (empty for a root), so the full span tree of a trace is
+// reconstructable from the flat records — from the in-memory ring,
+// from the flight recorder's capture, or from the JSONL sink.
 type SpanRecord struct {
-	Name  string
-	Start time.Time
-	Dur   time.Duration
-	Attrs []Attr
+	Name     string
+	TraceID  string
+	SpanID   string
+	ParentID string
+	Start    time.Time
+	Dur      time.Duration
+	Attrs    []Attr
+}
+
+// AttrMap returns the span's attributes as a map (nil when there are
+// none). Later duplicates of a key win, as in the JSONL rendering.
+func (r SpanRecord) AttrMap() map[string]any {
+	if len(r.Attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(r.Attrs))
+	for _, a := range r.Attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// MarshalJSON renders the record as the sink's JSONL object:
+//
+//	{"name":"chase","trace_id":"…","span_id":"…","parent_id":"…",
+//	 "start":"…","dur_ns":1234,"attrs":{…}}
+//
+// so a span serialized anywhere (sink line, /debug/slow capture) has
+// one wire shape.
+func (r SpanRecord) MarshalJSON() ([]byte, error) {
+	obj := spanJSON{
+		Name:     r.Name,
+		TraceID:  r.TraceID,
+		SpanID:   r.SpanID,
+		ParentID: r.ParentID,
+		Start:    r.Start.Format(time.RFC3339Nano),
+		DurNS:    r.Dur.Nanoseconds(),
+		Attrs:    r.AttrMap(),
+	}
+	b, err := json.Marshal(obj)
+	if err != nil {
+		// Unmarshalable attr values degrade to the span envelope alone.
+		obj.Attrs = nil
+		b, err = json.Marshal(obj)
+	}
+	return b, err
+}
+
+// UnmarshalJSON parses the wire shape MarshalJSON emits, so clients
+// (cmd/museload, tests) can decode sink lines and /debug/slow captures
+// back into SpanRecords. Attribute order is not preserved — the wire
+// carries a map — so attrs come back sorted by key.
+func (r *SpanRecord) UnmarshalJSON(b []byte) error {
+	var obj spanJSON
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return err
+	}
+	start, err := time.Parse(time.RFC3339Nano, obj.Start)
+	if err != nil {
+		return err
+	}
+	*r = SpanRecord{
+		Name: obj.Name, TraceID: obj.TraceID, SpanID: obj.SpanID, ParentID: obj.ParentID,
+		Start: start, Dur: time.Duration(obj.DurNS),
+	}
+	if len(obj.Attrs) > 0 {
+		keys := make([]string, 0, len(obj.Attrs))
+		for k := range obj.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		r.Attrs = make([]Attr, 0, len(keys))
+		for _, k := range keys {
+			r.Attrs = append(r.Attrs, Attr{Key: k, Val: obj.Attrs[k]})
+		}
+	}
+	return nil
+}
+
+// NewTraceID mints a fresh 128-bit trace id (32 hex chars). IDs are
+// random, never sequential, and never reused within a process's
+// lifetime except by astronomical accident.
+func NewTraceID() string {
+	var b [16]byte
+	putUint64(b[:8], mrand.Uint64())
+	putUint64(b[8:], mrand.Uint64())
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a fresh 64-bit span id (16 hex chars).
+func NewSpanID() string {
+	var b [8]byte
+	putUint64(b[:], mrand.Uint64())
+	return hex.EncodeToString(b[:])
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
 }
 
 // Tracer records spans into a bounded in-memory ring (oldest entries
 // are overwritten) and, when a sink is set, streams each finished span
 // as one JSON line. All methods on the nil Tracer are no-ops.
 type Tracer struct {
-	mu    sync.Mutex
-	ring  []SpanRecord
-	next  int
+	mu sync.Mutex
+	// ring is a fixed-length circular buffer: the filled entries are
+	// the size most recently finished spans, with next the slot the
+	// next completion lands in. Records are stored strictly in
+	// completion order, and Finished replays them oldest-first from
+	// next regardless of how many times the ring has wrapped.
+	ring []SpanRecord
+	next int
+	size int
+	sink io.Writer
+
 	total int64
-	sink  io.Writer
 }
 
 // NewTracer returns a tracer keeping the last ringSize finished spans
@@ -41,15 +153,12 @@ func NewTracer(ringSize int) *Tracer {
 	if ringSize <= 0 {
 		ringSize = DefaultRingSize
 	}
-	return &Tracer{ring: make([]SpanRecord, 0, ringSize)}
+	return &Tracer{ring: make([]SpanRecord, ringSize)}
 }
 
-// SetSink directs finished spans to w as JSONL, one object per span:
-//
-//	{"name":"chase.mapping","start":"...","dur_ns":1234,"attrs":{...}}
-//
-// Writes are serialized by the tracer. Call before spans are started;
-// a nil w disables the sink.
+// SetSink directs finished spans to w as JSONL, one object per span
+// (the SpanRecord.MarshalJSON shape). Writes are serialized by the
+// tracer. Call before spans are started; a nil w disables the sink.
 func (t *Tracer) SetSink(w io.Writer) {
 	if t == nil {
 		return
@@ -59,13 +168,15 @@ func (t *Tracer) SetSink(w io.Writer) {
 	t.mu.Unlock()
 }
 
-// Start opens a span. The returned span is owned by one goroutine
-// until End. A nil Tracer returns a nil (no-op) span.
+// Start opens a span with a fresh span id and no trace affiliation.
+// The returned span is owned by one goroutine until End. A nil Tracer
+// returns a nil (no-op) span. Use StartCtx to parent the span into a
+// context-carried trace.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{t: t, name: name, start: time.Now()}
+	return &Span{t: t, name: name, spanID: NewSpanID(), start: time.Now()}
 }
 
 // Count returns the total number of spans finished so far (including
@@ -79,19 +190,21 @@ func (t *Tracer) Count() int64 {
 	return t.total
 }
 
-// Finished returns the spans currently in the ring, oldest first.
+// Finished returns the spans currently in the ring in completion
+// order, oldest first — even after the ring has wrapped around and
+// the oldest record no longer lives at slot zero.
 func (t *Tracer) Finished() []SpanRecord {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]SpanRecord, 0, len(t.ring))
-	if len(t.ring) == cap(t.ring) {
+	out := make([]SpanRecord, 0, t.size)
+	if t.size == len(t.ring) {
 		out = append(out, t.ring[t.next:]...)
 		out = append(out, t.ring[:t.next]...)
 	} else {
-		out = append(out, t.ring...)
+		out = append(out, t.ring[:t.size]...)
 	}
 	return out
 }
@@ -99,10 +212,15 @@ func (t *Tracer) Finished() []SpanRecord {
 // Span is one in-flight operation. All methods on the nil Span are
 // no-ops, so `defer tr.Start("x").End()` is safe with a nil tracer.
 type Span struct {
-	t     *Tracer
-	name  string
-	start time.Time
-	attrs []Attr
+	t        *Tracer
+	name     string
+	traceID  string
+	spanID   string
+	parentID string
+	start    time.Time
+	attrs    []Attr
+	col      *SpanCollector
+	ended    bool
 }
 
 // Attr annotates the span and returns it for chaining.
@@ -122,20 +240,43 @@ func (s *Span) Dur() time.Duration {
 	return time.Since(s.start)
 }
 
-// End finishes the span: it is recorded in the tracer's ring and, when
-// a sink is configured, emitted as one JSON line.
-func (s *Span) End() {
+// TraceID returns the trace the span belongs to (empty on nil spans
+// and spans started outside a trace).
+func (s *Span) TraceID() string {
 	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own id (empty on the nil Span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
+}
+
+// End finishes the span: it is recorded in the tracer's ring, handed
+// to the trace's collector when one is attached, and, when a sink is
+// configured, emitted as one JSON line. End is idempotent — a second
+// call is a no-op — so a span ended explicitly on the happy path can
+// still carry a deferred End for the error paths.
+func (s *Span) End() {
+	if s == nil || s.ended {
 		return
 	}
-	rec := SpanRecord{Name: s.name, Start: s.start, Dur: time.Since(s.start), Attrs: s.attrs}
+	s.ended = true
+	rec := SpanRecord{
+		Name: s.name, TraceID: s.traceID, SpanID: s.spanID, ParentID: s.parentID,
+		Start: s.start, Dur: time.Since(s.start), Attrs: s.attrs,
+	}
 	t := s.t
 	t.mu.Lock()
-	if len(t.ring) < cap(t.ring) {
-		t.ring = append(t.ring, rec)
-	} else {
-		t.ring[t.next] = rec
-		t.next = (t.next + 1) % cap(t.ring)
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
 	}
 	t.total++
 	sink := t.sink
@@ -144,32 +285,26 @@ func (s *Span) End() {
 		sink.Write(line) // best-effort: a failing sink must not fail the traced operation
 	}
 	t.mu.Unlock()
+	// The collector has its own lock; append outside the tracer's so
+	// slow collectors never serialize unrelated spans.
+	s.col.add(rec)
 }
 
 // marshalSpan renders one JSONL line for a finished span.
 func marshalSpan(rec SpanRecord) []byte {
-	obj := spanJSON{
-		Name:  rec.Name,
-		Start: rec.Start.Format(time.RFC3339Nano),
-		DurNS: rec.Dur.Nanoseconds(),
-	}
-	if len(rec.Attrs) > 0 {
-		obj.Attrs = make(map[string]any, len(rec.Attrs))
-		for _, a := range rec.Attrs {
-			obj.Attrs[a.Key] = a.Val
-		}
-	}
-	b, err := json.Marshal(obj)
+	b, err := rec.MarshalJSON()
 	if err != nil {
-		// Unmarshalable attr values degrade to the span envelope alone.
-		b, _ = json.Marshal(spanJSON{Name: obj.Name, Start: obj.Start, DurNS: obj.DurNS})
+		b, _ = json.Marshal(spanJSON{Name: rec.Name, Start: rec.Start.Format(time.RFC3339Nano), DurNS: rec.Dur.Nanoseconds()})
 	}
 	return append(b, '\n')
 }
 
 type spanJSON struct {
-	Name  string         `json:"name"`
-	Start string         `json:"start"`
-	DurNS int64          `json:"dur_ns"`
-	Attrs map[string]any `json:"attrs,omitempty"`
+	Name     string         `json:"name"`
+	TraceID  string         `json:"trace_id,omitempty"`
+	SpanID   string         `json:"span_id,omitempty"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Start    string         `json:"start"`
+	DurNS    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
 }

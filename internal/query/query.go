@@ -148,9 +148,14 @@ func (q *Query) Eval(in *instance.Instance, opt Options) ([]Match, error) {
 	var sp *obs.Span
 	if o != nil {
 		evalStart = time.Now()
-		sp = o.Start(obs.SpanQueryEval)
+		sp, _ = o.StartCtx(opt.Ctx, obs.SpanQueryEval)
 	}
 	p := q.plan(store, opt.Naive)
+	if sp != nil && obs.DetailFromContext(opt.Ctx) {
+		// Expensive diagnostics only when the trace asked for them
+		// (flight-recorder captures): the rendered planner explanation.
+		sp.Attr("explain", (&Plan{p: p}).Explain())
+	}
 	if o != nil {
 		o.Counter(obs.MQueryEvals).Inc()
 		o.Counter(obs.MQueryAtomsCosted).Add(int64(p.costed))

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+
+	"muse/internal/obs"
+)
+
+// RequestIDHeader carries the per-request correlation id: clients may
+// supply one (it is echoed back verbatim when well-formed), otherwise
+// the server mints one. The id appears in the response header, in
+// every {error,code} body, in the access log, and as the request_id
+// attribute of the request's root span.
+const RequestIDHeader = "X-Muse-Request-Id"
+
+// maxRequestIDLen bounds accepted client-supplied ids; longer ones are
+// replaced (an id is a correlation key, not a payload channel).
+const maxRequestIDLen = 128
+
+// requestID returns the client-supplied request id when well-formed,
+// or a freshly minted one.
+func requestID(r *http.Request) string {
+	id := r.Header.Get(RequestIDHeader)
+	if validRequestID(id) {
+		return id
+	}
+	return newRequestID()
+}
+
+// newRequestID mints a server-side request id: 32 hex chars, the same
+// shape as a trace id (ids are random and never reused).
+func newRequestID() string { return obs.NewTraceID() }
+
+// validRequestID accepts 1..128 chars of [A-Za-z0-9._-]: safe in
+// headers, JSON, log lines and shell pipelines without escaping.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// AccessLog writes one JSON line per served request. Lines are
+// marshaled outside the lock and written under it, so concurrent
+// handlers never interleave bytes. The nil AccessLog discards
+// everything.
+type AccessLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewAccessLog logs to w.
+func NewAccessLog(w io.Writer) *AccessLog {
+	return &AccessLog{w: w}
+}
+
+// accessEntry is the JSONL schema (documented in docs/API.md).
+type accessEntry struct {
+	Time      string `json:"time"` // RFC3339Nano, request start
+	RequestID string `json:"request_id"`
+	Method    string `json:"method"`
+	Route     string `json:"route"` // logical route name; "" for unmatched paths
+	Path      string `json:"path"`
+	Token     string `json:"token,omitempty"`
+	Scenario  string `json:"scenario,omitempty"`
+	Status    int    `json:"status"`
+	DurNS     int64  `json:"dur_ns"`
+}
+
+func (l *AccessLog) log(e accessEntry) {
+	if l == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b) // best-effort: a failing log must not fail the request
+	l.mu.Unlock()
+}

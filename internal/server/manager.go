@@ -123,9 +123,13 @@ type Manager struct {
 	// when Obs is nil) so the request path never takes the registry's
 	// mutex.
 	mRequests, mStarted, mRejected, mEvicted *obs.Counter
-	mAnswers, mInvalid                      *obs.Counter
+	mAnswers, mInvalid, mErrors, mSlow      *obs.Counter
 	gLive                                   *obs.Gauge
 	hStep                                   *obs.Histogram
+	// scSteps holds one per-scenario step counter per configured
+	// scenario (labeled series under obs.MSrvScenarioSteps), resolved
+	// once here; the map is never written after NewManager.
+	scSteps map[string]*obs.Counter
 }
 
 // DefaultMaxSessions and DefaultTTL bound managers that don't choose.
@@ -150,12 +154,33 @@ func NewManager(scenarios map[string]*Scenario, o *obs.Obs) *Manager {
 	mg.mEvicted = reg.Counter(obs.MSrvSessionsEvicted)
 	mg.mAnswers = reg.Counter(obs.MSrvAnswers)
 	mg.mInvalid = reg.Counter(obs.MSrvInvalidAnswers)
+	mg.mErrors = reg.Counter(obs.MSrvErrors)
+	mg.mSlow = reg.Counter(obs.MSrvSlowSteps)
 	mg.gLive = reg.Gauge(obs.GSrvSessionsLive)
 	mg.hStep = reg.Histogram(obs.HSrvStepSeconds, obs.SrvStepSecondsBounds...)
+	mg.scSteps = make(map[string]*obs.Counter, len(scenarios))
+	for name := range scenarios {
+		mg.scSteps[name] = reg.Counter(obs.LabeledName(obs.MSrvScenarioSteps, "scenario", name))
+	}
 	return mg
 }
 
 func (mg *Manager) reg() *obs.Registry { return mg.Obs.Registry() }
+
+// tracer returns the manager's span tracer (nil when untraced).
+func (mg *Manager) tracer() *obs.Tracer {
+	if mg.Obs == nil {
+		return nil
+	}
+	return mg.Obs.Tr
+}
+
+// scenarioStep counts one served step against its scenario (no-op for
+// unknown scenarios — can't happen, the session was created from the
+// map).
+func (mg *Manager) scenarioStep(scenario string) {
+	mg.scSteps[scenario].Inc()
+}
 
 // Prime eagerly pays each scenario's first-session costs before
 // traffic arrives: the scenario-wide index store is built, and a
