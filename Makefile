@@ -4,15 +4,18 @@
 # internal/query + the wizards' prefetch workers), benchmark smoke
 # runs (one iteration; catch bit-rot in the bench harness without
 # paying for a full sweep), an observability smoke run (an end-to-end
-# wizard session must produce non-zero metrics and a trace), the
-# cross-check harness (differential oracles over every engine, see
-# DESIGN.md §10), and a fuzz smoke pass (every fuzz target briefly).
+# wizard session must produce non-zero metrics and a trace), durable-
+# resume smokes (a WAL-backed server killed mid-dialog must resume
+# byte-identically, standalone and under load), the cross-check
+# harness (differential oracles over every engine, see DESIGN.md §10),
+# a fuzz smoke pass (every fuzz target briefly), and the allocation
+# guard (serving-path allocs/op within 1.3x of the recorded baseline).
 
 GO ?= go
 
-.PHONY: ci vet build test race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke musestat-smoke crosscheck fuzz-smoke bench-guard bench
+.PHONY: ci vet build test race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke resume-smoke musestat-smoke crosscheck fuzz-smoke bench-guard bench
 
-ci: vet build race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke musestat-smoke crosscheck fuzz-smoke
+ci: vet build race race-retrieval bench-smoke bench-scaled-smoke obs-smoke server-smoke loadtest-smoke resume-smoke musestat-smoke crosscheck fuzz-smoke bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -41,10 +44,10 @@ bench-smoke:
 bench-scaled-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkChaseScenarioScaled/SF2' -benchtime=1x .
 
-# Cross-check harness: the four differential oracle families (chase,
-# query, wizard, server) over every builtin scenario plus seeded
-# mutated and random ones. Deterministic in the seed; exits non-zero
-# with a minimized repro on any disagreement.
+# Cross-check harness: the five differential oracle families (chase,
+# query, wizard, resume, server) over every builtin scenario plus
+# seeded mutated and random ones. Deterministic in the seed; exits
+# non-zero with a minimized repro on any disagreement.
 crosscheck:
 	$(GO) run ./cmd/musecheck -seed 1 -cases 8 -queries 12
 
@@ -97,10 +100,15 @@ obs-smoke:
 	fi; \
 	rm -rf $$tmp; exit $$st
 
-# End-to-end server check: boot musesrv on an ephemeral port, run the
-# docs/API.md curl walkthrough (a full Muse-G session on the Fig. 1
-# scenario), assert the session counters surfaced on /metrics, then
-# SIGTERM the server and require a clean (exit 0) graceful shutdown.
+# End-to-end server check, two halves. First: boot musesrv on an
+# ephemeral port, run the docs/API.md curl walkthrough (a full Muse-G
+# session on the Fig. 1 scenario), assert the session counters
+# surfaced on /metrics, then SIGTERM the server and require a clean
+# (exit 0) graceful shutdown. Second: boot a WAL-backed server, answer
+# three questions, kill it mid-dialog, restart over the same WAL
+# directory, and require the restarted replica to serve the pending
+# question byte-identically (jq -cS-normalized), finish the dialog via
+# the walkthrough's resume form, and report the resume on /metrics.
 server-smoke:
 	@tmp=$$(mktemp -d); st=1; \
 	$(GO) build -o $$tmp/musesrv ./cmd/musesrv && \
@@ -116,6 +124,37 @@ server-smoke:
 		echo "server-smoke: session, metrics and graceful shutdown OK"; \
 	else \
 		echo "server-smoke: server did not come up"; kill $$pid 2>/dev/null; \
+	fi; \
+	rm -rf $$tmp; exit $$st
+	@tmp=$$(mktemp -d); st=1; ok=0; \
+	$(GO) build -o $$tmp/musesrv ./cmd/musesrv && \
+	$$tmp/musesrv -addr 127.0.0.1:0 -addr-file $$tmp/addr -store wal -wal-dir $$tmp/wal & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		base="http://$$(cat $$tmp/addr)"; \
+		token=$$(curl -fsS -X POST -d '{"scenario":"fig1"}' "$$base/v1/sessions" | jq -r .token) && \
+		for a in 2 1 2; do \
+			curl -fsS -X POST -d "{\"scenario\": $$a}" "$$base/v1/sessions/$$token/answer" >/dev/null || exit 1; \
+		done && \
+		curl -fsS "$$base/v1/sessions/$$token" | jq -cS .step >$$tmp/before.json && ok=1; \
+		kill -TERM $$pid; wait $$pid; \
+	else \
+		echo "server-smoke: WAL server did not come up"; kill $$pid 2>/dev/null; \
+	fi; \
+	if [ $$ok = 1 ]; then \
+		$$tmp/musesrv -addr 127.0.0.1:0 -addr-file $$tmp/addr2 -store wal -wal-dir $$tmp/wal & pid=$$!; \
+		for i in $$(seq 1 50); do [ -s $$tmp/addr2 ] && break; sleep 0.1; done; \
+		if [ -s $$tmp/addr2 ]; then \
+			base2="http://$$(cat $$tmp/addr2)"; \
+			curl -fsS "$$base2/v1/sessions/$$token" | jq -cS .step >$$tmp/after.json && \
+			cmp -s $$tmp/before.json $$tmp/after.json && \
+			bash docs/walkthrough.sh "$$base2" "$$token" 3 && \
+			curl -fsS "$$base2/metrics" | grep -q '^muse_server_resume_total 1' && \
+			kill -TERM $$pid && wait $$pid && st=$$? && \
+			echo "server-smoke: WAL kill/restart resume byte-identical OK"; \
+		else \
+			echo "server-smoke: restarted server did not come up"; kill $$pid 2>/dev/null; \
+		fi; \
 	fi; \
 	rm -rf $$tmp; exit $$st
 
@@ -138,6 +177,32 @@ loadtest-smoke:
 		echo "loadtest-smoke: $$(jq -r '.steps.total' $$tmp/load.json) steps across 50 dialogs, 0 errors, report OK"; \
 	else \
 		echo "loadtest-smoke: server did not come up"; kill $$pid 2>/dev/null; \
+	fi; \
+	rm -rf $$tmp; exit $$st
+
+# Durable-resume smoke under load: boot a WAL-backed musesrv with a
+# short 300ms session TTL, then drive seeded museload dialogs that all
+# go idle mid-dialog for 700ms (-kill-resume 1 -resume-pause 700ms) —
+# long enough for the TTL sweep to evict them — and verify each one
+# resumes from the WAL with byte-identical pending-question bytes.
+# Asserts zero errors, at least one verified resume round-trip in the
+# report, and a non-zero muse_server_resume_total on /metrics.
+resume-smoke:
+	@tmp=$$(mktemp -d); st=1; \
+	$(GO) build -o $$tmp/musesrv ./cmd/musesrv && \
+	$(GO) build -o $$tmp/museload ./cmd/museload && \
+	$$tmp/musesrv -addr 127.0.0.1:0 -addr-file $$tmp/addr -store wal -wal-dir $$tmp/wal -ttl 300ms & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		base="http://$$(cat $$tmp/addr)"; \
+		$$tmp/museload -addr-file $$tmp/addr -seed 7 -concurrency 4 -dialogs 12 \
+			-kill-resume 1 -resume-pause 700ms -report $$tmp/load.json && \
+		jq -e '.errors_total == 0 and .resume_checks >= 1' $$tmp/load.json >/dev/null && \
+		curl -fsS "$$base/metrics" | grep -q '^muse_server_resume_total [1-9]' && \
+		kill -TERM $$pid && wait $$pid && st=$$? && \
+		echo "resume-smoke: $$(jq -r '.resume_checks' $$tmp/load.json) byte-identical WAL resume(s), 0 errors"; \
+	else \
+		echo "resume-smoke: server did not come up"; kill $$pid 2>/dev/null; \
 	fi; \
 	rm -rf $$tmp; exit $$st
 

@@ -230,6 +230,7 @@ func TestBenchGuard(t *testing.T) {
 		t.Fatalf("BENCH_server_baseline.json: %v", err)
 	}
 	mg := server.NewManager(server.Builtin(), nil)
+	mg.Store = server.NewMemStore() // durability on, like a deployed server
 	defer mg.Close()
 	h := server.New(mg)
 	rec := httptest.NewRecorder()

@@ -12,17 +12,29 @@
 //	         [-scenarios fig1,fig4] [-concurrency 64]
 //	         [-dialogs 200 | -duration 30s] [-seed 1]
 //	         [-think-min 0] [-think-max 0] [-abandon 0]
+//	         [-kill-resume 0 -resume-pause 1s]
 //	         [-timeout 30s] [-report out.json]
 //
 // The workload is reproducible in the seed: scenario choice, answer
-// policy, think times, and abandonment decisions all derive from
-// -seed, so two runs against the same server replay identical dialog
-// scripts (latencies of course vary with the machine). The JSON
-// report is the trajectory format of BENCH_server_baseline.json; a
-// short seeded burst is CI's `make loadtest-smoke`.
+// policy, think times, abandonment, and kill/resume decisions all
+// derive from -seed, so two runs against the same server replay
+// identical dialog scripts (latencies of course vary with the
+// machine). The JSON report is the trajectory format of
+// BENCH_server_baseline.json; a short seeded burst is CI's
+// `make loadtest-smoke`.
+//
+// -kill-resume verifies durable resume: the chosen fraction of
+// dialogs snapshots the raw pending-question bytes mid-dialog, goes
+// quiet for -resume-pause (long enough for the server's -ttl sweep to
+// evict the session, so the next request must rebuild it from the
+// session store), then re-fetches the question and requires byte
+// identity before finishing the dialog normally. The report counts
+// verified round-trips in resume_checks; a divergence is an error.
+// CI's `make resume-smoke` is this against a WAL-backed musesrv.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -97,6 +109,8 @@ type Config struct {
 	ThinkMin    time.Duration `json:"think_min_ns"`
 	ThinkMax    time.Duration `json:"think_max_ns"`
 	Abandon     float64       `json:"abandon"`
+	KillResume  float64       `json:"kill_resume"`
+	ResumePause time.Duration `json:"resume_pause_ns"`
 	Timeout     time.Duration `json:"timeout_ns"`
 	Slowest     int           `json:"slowest"`
 	Report      string        `json:"-"`
@@ -114,6 +128,8 @@ func parseFlags() Config {
 	flag.DurationVar(&cfg.ThinkMin, "think-min", 0, "minimum designer think time per answer")
 	flag.DurationVar(&cfg.ThinkMax, "think-max", 0, "maximum designer think time per answer")
 	flag.Float64Var(&cfg.Abandon, "abandon", 0, "fraction of dialogs abandoned mid-way [0,1)")
+	flag.Float64Var(&cfg.KillResume, "kill-resume", 0, "fraction of dialogs that go idle mid-way and verify byte-identical resume [0,1]")
+	flag.DurationVar(&cfg.ResumePause, "resume-pause", time.Second, "idle span for -kill-resume dialogs (set past the server's -ttl so eviction actually happens)")
 	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
 	flag.IntVar(&cfg.Slowest, "slowest", 5, "report the server-side span breakdown for this many slowest steps (0 = off)")
 	flag.StringVar(&cfg.Report, "report", "", "write the JSON report here (default stdout)")
@@ -170,8 +186,11 @@ type Report struct {
 	// the request id museload sent. Steps the server's flight recorder
 	// did not capture (under its threshold) carry client data only.
 	SlowestSteps []SlowStepReport `json:"slowest_steps,omitempty"`
-	ErrorsTotal  int64            `json:"errors_total"`
-	ErrorSample  []string         `json:"error_sample,omitempty"`
+	// ResumeChecks counts -kill-resume round-trips where the re-fetched
+	// question was byte-identical to the pre-pause snapshot.
+	ResumeChecks int64    `json:"resume_checks"`
+	ErrorsTotal  int64    `json:"errors_total"`
+	ErrorSample  []string `json:"error_sample,omitempty"`
 }
 
 // SlowStepReport is one slow step correlated across the wire.
@@ -230,6 +249,7 @@ type loader struct {
 	failed    atomic.Int64
 	steps     atomic.Int64
 	answers   atomic.Int64
+	resumes   atomic.Int64 // verified kill/resume round-trips
 	errs      atomic.Int64
 
 	errMu     sync.Mutex
@@ -318,6 +338,7 @@ func (ld *loader) run() *Report {
 			PerSecond: float64(ld.steps.Load()) / elapsed.Seconds(),
 		},
 		ClientStepSeconds: exactQuantiles(all),
+		ResumeChecks:      ld.resumes.Load(),
 		ErrorsTotal:       ld.errs.Load(),
 		ErrorSample:       ld.errSample,
 	}
@@ -476,6 +497,10 @@ func (wk *worker) dialog() {
 	if wk.rng.Float64() < ld.cfg.Abandon {
 		abandonAt = 1 + wk.rng.Intn(8)
 	}
+	resumeAt := -1
+	if wk.rng.Float64() < ld.cfg.KillResume {
+		resumeAt = 1 + wk.rng.Intn(4)
+	}
 
 	status, step, err := wk.step("POST", "/v1/sessions", fmt.Sprintf(`{"scenario": %q}`, scenario))
 	switch {
@@ -508,6 +533,12 @@ func (wk *worker) dialog() {
 			ld.abandoned.Add(1)
 			wk.del(token)
 			return
+		}
+		if n == resumeAt {
+			if !wk.resumeCheck(token) {
+				wk.del(token)
+				return
+			}
 		}
 		wk.think()
 		var status int
@@ -560,6 +591,40 @@ func (wk *worker) answerBody(step wireStep) string {
 	}
 	b.WriteString("]}")
 	return b.String()
+}
+
+// resumeCheck plays the crashed-client script: snapshot the pending
+// question's raw bytes, go idle past the server's session TTL (the
+// next request then finds the token evicted and must rebuild it from
+// the session store), and require the re-fetched question to be
+// byte-identical. Returns false if the dialog cannot continue.
+func (wk *worker) resumeCheck(token string) bool {
+	ld := wk.ld
+	status, before, err := wk.do("GET", "/v1/sessions/"+token, "")
+	if err != nil {
+		ld.noteErr("resume snapshot: %v", err)
+		return false
+	}
+	if status != http.StatusOK {
+		ld.noteErr("resume snapshot: status %d", status)
+		return false
+	}
+	time.Sleep(ld.cfg.ResumePause)
+	status, after, err := wk.do("GET", "/v1/sessions/"+token, "")
+	if err != nil {
+		ld.noteErr("resume fetch: %v", err)
+		return false
+	}
+	if status != http.StatusOK {
+		ld.noteErr("resume fetch: status %d (body %s)", status, after)
+		return false
+	}
+	if !bytes.Equal(before, after) {
+		ld.noteErr("resume diverged for %s:\n  before: %s\n  after:  %s", token, before, after)
+		return false
+	}
+	ld.resumes.Add(1)
+	return true
 }
 
 func (wk *worker) think() {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	musesrv [-addr :8080] [-max-sessions 64] [-session-ttl 30m (alias -ttl)]
+//	        [-store mem|wal] [-wal-dir DIR] [-fsync=true]
 //	        [-prime=false] [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
 //	        [-trace spans.jsonl] [-access-log access.jsonl]
 //	        [-slow-threshold 250ms] [-slow-cap 64] [-debug-addr 127.0.0.1:6060]
@@ -23,10 +24,18 @@
 // step, -1 disables), and -debug-addr exposes net/http/pprof and
 // expvar on a separate listener (keep it private).
 //
+// Durability: -store mem (default) keeps accepted answers in memory
+// so only eviction is survivable; -store wal appends each accepted
+// answer to a per-session write-ahead log under -wal-dir and replays
+// it on demand, so a restarted (or different, if the directory is
+// shared) replica transparently resumes any token. -fsync=false trades
+// crash safety for latency. docs/OPERATIONS.md covers the recovery
+// semantics.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests drain (bounded by -shutdown-timeout), then every live
-// session is closed. -addr-file writes the bound address (useful with
-// ":0" for tests and CI).
+// session is closed and the session store is flushed. -addr-file
+// writes the bound address (useful with ":0" for tests and CI).
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 
 	"muse"
 	"muse/internal/server"
+	"muse/internal/server/walstore"
 )
 
 func main() {
@@ -54,6 +64,9 @@ func main() {
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions (idle LRU sessions are evicted past it)")
 	sessionTTL := flag.Duration("session-ttl", server.DefaultTTL, "idle session lifetime (0 disables expiry)")
 	flag.DurationVar(sessionTTL, "ttl", server.DefaultTTL, "alias for -session-ttl")
+	storeKind := flag.String("store", "mem", "session store: \"mem\" (resume survives eviction) or \"wal\" (resume survives restarts; needs -wal-dir)")
+	walDir := flag.String("wal-dir", "", "directory for per-session write-ahead logs (with -store wal)")
+	fsync := flag.Bool("fsync", true, "fsync each WAL append before acknowledging the answer (with -store wal)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	prime := flag.Bool("prime", true, "build scenario indexes and warm the first question before serving")
 	docPath := flag.String("doc", "", "Muse document to serve as a scenario (optional)")
@@ -100,6 +113,24 @@ func main() {
 	mg := server.NewManager(scenarios, o)
 	mg.MaxSessions = *maxSessions
 	mg.TTL = *sessionTTL
+	switch *storeKind {
+	case "mem":
+		mg.Store = server.NewMemStore()
+	case "wal":
+		if *walDir == "" {
+			log.Fatal("-store wal requires -wal-dir")
+		}
+		ws, stats, err := walstore.Open(*walDir, walstore.Options{Fsync: *fsync, Reg: o.Registry()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ws.Close()
+		log.Printf("musesrv: WAL recovery: %d session(s), %d torn tail(s) truncated, %d corrupt log(s)",
+			stats.Sessions, stats.TornTails, stats.Corrupt)
+		mg.Store = ws
+	default:
+		log.Fatalf("-store %q: want \"mem\" or \"wal\"", *storeKind)
+	}
 	if *prime {
 		t0 := time.Now()
 		mg.Prime(context.Background())

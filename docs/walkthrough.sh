@@ -3,28 +3,48 @@
 # session over the built-in Fig. 1 scenario against a running musesrv
 # and checks the designed grouping comes out as SKProjects(c.cname).
 #
-# Usage: walkthrough.sh [BASE_URL]    (default http://127.0.0.1:8080)
+# Usage: walkthrough.sh [BASE_URL [TOKEN [SKIP]]]
 #
-# `make server-smoke` starts a throwaway server and runs this script
-# against it; the answer sequence below is the one docs/API.md steps
-# through question by question.
+#   BASE_URL  server to drive (default http://127.0.0.1:8080)
+#   TOKEN     resume an existing session instead of creating one: GET
+#             its pending question and continue the script
+#   SKIP      how many of the walkthrough's answers that session has
+#             already absorbed (default 0)
+#
+# `make server-smoke` runs the create form against a throwaway server,
+# then kills the server mid-dialog and reruns this script with
+# TOKEN/SKIP against a restarted replica to prove WAL resume; the
+# answer sequence below is the one docs/API.md steps through question
+# by question.
 set -euo pipefail
 BASE="${1:-http://127.0.0.1:8080}"
+TOKEN="${2:-}"
+SKIP="${3:-0}"
 
 say() { echo "walkthrough: $*" >&2; }
 
-# 1. Start a session over the built-in Fig. 1 scenario.
-resp=$(curl -fsS -X POST "$BASE/v1/sessions" -H 'Content-Type: application/json' \
-  -d '{"scenario": "fig1"}')
-token=$(echo "$resp" | jq -r .token)
-say "session $token started"
+answers=(2 1 2 2 2 2 1 2 2 2 2)
+
+if [ -z "$TOKEN" ]; then
+  # 1. Start a session over the built-in Fig. 1 scenario.
+  resp=$(curl -fsS -X POST "$BASE/v1/sessions" -H 'Content-Type: application/json' \
+    -d '{"scenario": "fig1"}')
+  token=$(echo "$resp" | jq -r .token)
+  say "session $token started"
+else
+  # 1. Resume: fetch the pending question of an existing session (the
+  #    server rebuilds it from its session store if it is not live).
+  resp=$(curl -fsS "$BASE/v1/sessions/$TOKEN")
+  token="$TOKEN"
+  say "session $token resumed at answer $((SKIP + 1)) of ${#answers[@]}"
+fi
 
 # 2. Answer the wizard's questions. The intended design groups each
 #    company's projects by the company name: answer 1 (the scenario
 #    whose grouping argument list includes the probed attribute) when
 #    the probe is c.cname, otherwise 2. For the Fig. 1 scenario with
 #    the Companies(cid) key this is an 11-question dialog.
-for a in 2 1 2 2 2 2 1 2 2 2 2; do
+for a in "${answers[@]:$SKIP}"; do
   state=$(echo "$resp" | jq -r .step.state)
   if [ "$state" != "grouping_question" ]; then
     say "expected a grouping question, got state=$state"; exit 1

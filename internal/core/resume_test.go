@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"muse/internal/core"
+	"muse/internal/scenarios"
+)
+
+// questionKey flattens the observable identity of a pending question
+// enough to detect divergence between a resumed and an uninterrupted
+// dialog.
+func questionKey(step core.Step) string {
+	switch {
+	case step.Grouping != nil:
+		q := step.Grouping
+		return fmt.Sprintf("seq=%d grouping sk=%s probe=%s source=%s s1=%s s2=%s",
+			step.Seq, q.SK, q.Probe, q.Source, q.Scenario1, q.Scenario2)
+	case step.Choice != nil:
+		return fmt.Sprintf("seq=%d choice mapping=%s source=%s", step.Seq, q2name(step), step.Choice.Source)
+	default:
+		return fmt.Sprintf("seq=%d terminal", step.Seq)
+	}
+}
+
+func q2name(step core.Step) string {
+	if step.Choice.Mapping != nil {
+		return step.Choice.Mapping.Name
+	}
+	return "?"
+}
+
+// TestResumeStepperAtEveryIndex records an uninterrupted fig1 dialog
+// (questions and final mapping set), then for every kill index k
+// rebuilds a stepper from the first k accepted answers on a fresh
+// scenario copy and requires the resumed dialog — pending question,
+// remaining questions, final mapping set — to be byte-identical.
+func TestResumeStepperAtEveryIndex(t *testing.T) {
+	fig := scenarios.NewFigure1(true)
+	oracle := fig1Oracle()
+	st := core.NewStepper(context.Background(), core.NewSession(fig.SrcDeps, fig.Source), fig.Set)
+	defer st.Close()
+
+	var questions []string
+	var answers []core.Answer
+	var final core.Step
+	for {
+		step, err := st.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step.Done {
+			final = step
+			break
+		}
+		questions = append(questions, questionKey(step))
+		ans, err := oracle.ChooseScenario(step.Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := core.Answer{Scenario: ans}
+		if _, err := st.Answer(context.Background(), a); err != nil {
+			t.Fatal(err)
+		}
+		answers = append(answers, a)
+	}
+	if final.Err != nil {
+		t.Fatal(final.Err)
+	}
+	if got := st.Accepted(); got != len(answers) {
+		t.Fatalf("Accepted() = %d, want %d", got, len(answers))
+	}
+	snap := st.Snapshot()
+	if len(snap) != len(answers) {
+		t.Fatalf("Snapshot() has %d answers, want %d", len(snap), len(answers))
+	}
+	want := formatSet(final.Result)
+
+	for k := 0; k <= len(answers); k++ {
+		fresh := scenarios.NewFigure1(true)
+		rst, err := core.ResumeStepper(context.Background(),
+			core.NewSession(fresh.SrcDeps, fresh.Source), fresh.Set, snap[:k])
+		if err != nil {
+			t.Fatalf("resume at %d: %v", k, err)
+		}
+		for i := k; ; i++ {
+			step, err := rst.Step(context.Background())
+			if err != nil {
+				t.Fatalf("resume at %d: step %d: %v", k, i+1, err)
+			}
+			if step.Done {
+				if i != len(answers) {
+					t.Fatalf("resume at %d: dialog ended after %d answers, want %d", k, i, len(answers))
+				}
+				if step.Err != nil {
+					t.Fatalf("resume at %d: terminal error %v", k, step.Err)
+				}
+				if got := formatSet(step.Result); got != want {
+					t.Fatalf("resume at %d: final mapping set diverged:\n--- resumed ---\n%s--- uninterrupted ---\n%s", k, got, want)
+				}
+				break
+			}
+			if got := questionKey(step); got != questions[i] {
+				t.Fatalf("resume at %d: question %d diverged:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", k, i+1, got, questions[i])
+			}
+			if _, err := rst.Answer(context.Background(), answers[i]); err != nil {
+				t.Fatalf("resume at %d: answer %d: %v", k, i+1, err)
+			}
+		}
+		rst.Close()
+	}
+}
+
+// TestResumeStepperRejectsOverlongSnapshot: a snapshot with answers
+// past the dialog's end must fail cleanly, not wedge.
+func TestResumeStepperRejectsOverlongSnapshot(t *testing.T) {
+	fig := scenarios.NewFigure1(true)
+	st := core.NewStepper(context.Background(), core.NewSession(fig.SrcDeps, fig.Source), fig.Set)
+	defer st.Close()
+	final := driveStepper(t, st, fig1Oracle(), nil)
+	if final.Err != nil {
+		t.Fatal(final.Err)
+	}
+	snap := append(st.Snapshot(), core.Answer{Scenario: 1})
+
+	fresh := scenarios.NewFigure1(true)
+	if _, err := core.ResumeStepper(context.Background(),
+		core.NewSession(fresh.SrcDeps, fresh.Source), fresh.Set, snap); err == nil {
+		t.Fatal("ResumeStepper accepted a snapshot longer than the dialog")
+	}
+}
+
+// TestSnapshotExcludesRejectedAnswers: only accepted answers land in
+// the log.
+func TestSnapshotExcludesRejectedAnswers(t *testing.T) {
+	fig := scenarios.NewFigure1(true)
+	st := core.NewStepper(context.Background(), core.NewSession(fig.SrcDeps, fig.Source), fig.Set)
+	defer st.Close()
+	if _, err := st.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Answer(context.Background(), core.Answer{Scenario: 9}); err == nil {
+		t.Fatal("invalid answer accepted")
+	}
+	if got := st.Accepted(); got != 0 {
+		t.Fatalf("Accepted() = %d after only a rejected answer, want 0", got)
+	}
+	if _, err := st.Answer(context.Background(), core.Answer{Scenario: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Accepted(); got != 1 {
+		t.Fatalf("Accepted() = %d, want 1", got)
+	}
+}

@@ -92,6 +92,13 @@ type Stepper struct {
 	cur *pendingQ
 	seq int
 
+	// accepted logs every answer the dialog has accepted, in order.
+	// Replaying this prefix over a fresh copy of the scenario rebuilds
+	// the exact dialog state (ResumeStepper): the wizards are
+	// deterministic in (scenario, answers), which internal/crosscheck's
+	// wizard oracle proves byte-for-byte.
+	accepted []Answer
+
 	// stopRelay releases the context.AfterFunc relay that ties the
 	// currently installed work context to lifetime.
 	stopRelay func() bool
@@ -291,7 +298,71 @@ func (st *Stepper) Answer(ctx context.Context, a Answer) (Step, error) {
 	case <-st.lifetime.Done():
 		return Step{}, st.lifetime.Err()
 	}
+	// The answer is accepted the moment the pipeline consumes it: log it
+	// before waiting on the next question, so a dialog that dies while
+	// computing that question (request context cancelled) still has the
+	// complete accepted prefix available for replay.
+	st.accepted = append(st.accepted, cloneAnswer(a))
 	return st.Step(ctx)
+}
+
+// cloneAnswer deep-copies an answer so the log is immune to callers
+// reusing choice slices.
+func cloneAnswer(a Answer) Answer {
+	if a.Choices == nil {
+		return a
+	}
+	cs := make([][]int, len(a.Choices))
+	for i, sel := range a.Choices {
+		cs[i] = append([]int(nil), sel...)
+	}
+	return Answer{Scenario: a.Scenario, Choices: cs}
+}
+
+// Accepted reports how many answers the dialog has accepted so far.
+// Like Step/Answer it must be called with the stepper serialized.
+func (st *Stepper) Accepted() int { return len(st.accepted) }
+
+// Snapshot returns the ordered accepted answers — everything needed
+// (with the scenario) to rebuild the dialog on any replica via
+// ResumeStepper. The slice and its choice lists are fresh copies.
+func (st *Stepper) Snapshot() []Answer {
+	out := make([]Answer, len(st.accepted))
+	for i, a := range st.accepted {
+		out[i] = cloneAnswer(a)
+	}
+	return out
+}
+
+// ResumeStepper rebuilds a dialog from an accepted-answer snapshot by
+// replaying it through the ordinary step path over a fresh session:
+// the wizards are deterministic in (scenario, answers), so the resumed
+// stepper's pending question, remaining dialog, and final mapping set
+// are byte-identical to the uninterrupted run's. A snapshot that does
+// not fit the dialog (answers past the end, or an answer the pending
+// question rejects) closes the stepper and reports an error — the
+// snapshot belongs to some other scenario state and cannot be trusted.
+// ctx bounds the whole replay plus the work toward the next pending
+// question; replay cost is one uninterrupted dialog's (the paper's
+// dialogs are short by design).
+func ResumeStepper(ctx context.Context, s *Session, set *mapping.Set, answers []Answer) (*Stepper, error) {
+	st := NewStepper(ctx, s, set)
+	for i, a := range answers {
+		step, err := st.Step(ctx)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("core: resume: awaiting question %d: %w", i+1, err)
+		}
+		if step.Done {
+			st.Close()
+			return nil, fmt.Errorf("core: resume: dialog ended after %d of %d recorded answers (err=%v)", i, len(answers), step.Err)
+		}
+		if _, err := st.Answer(ctx, a); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("core: resume: replaying answer %d of %d: %w", i+1, len(answers), err)
+		}
+	}
+	return st, nil
 }
 
 func validateAnswer(p *pendingQ, a Answer) error {

@@ -70,6 +70,17 @@ func TestWizardOracle(t *testing.T) {
 	}
 }
 
+// TestResumeOracle runs the kill/replay differential (every kill index
+// on the first seed) plus the WAL crash, torn-tail, and corruption
+// fault injections.
+func TestResumeOracle(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cases = 2
+	for _, f := range CheckResume(cfg) {
+		t.Errorf("%s", f)
+	}
+}
+
 // TestServerOracle runs the wire-vs-in-process differential and the
 // fault injections.
 func TestServerOracle(t *testing.T) {

@@ -68,6 +68,7 @@ func createSession(b *testing.B, h http.Handler) string {
 func BenchmarkServerDialog(b *testing.B) {
 	mg := server.NewManager(server.Builtin(), obs.New())
 	mg.MaxSessions = 16
+	mg.Store = server.NewMemStore() // durability on, like a deployed server
 	defer mg.Close()
 	h := server.New(mg)
 	// Warm the shared index store outside the timed region.
@@ -107,6 +108,7 @@ func BenchmarkServerDialog(b *testing.B) {
 // compare against BENCH_server_baseline.json.
 func BenchmarkServerStep(b *testing.B) {
 	mg := server.NewManager(server.Builtin(), obs.New())
+	mg.Store = server.NewMemStore() // durability on, like a deployed server
 	defer mg.Close()
 	h := server.New(mg)
 	token := createSession(b, h)

@@ -13,7 +13,16 @@
 // same scenario run concurrently and share one query.IndexStore, so
 // indexes built for one designer's retrievals serve every other.
 //
-// Invariants (DESIGN.md §9 states them normatively):
+// Sessions are durable through a pluggable SessionStore: every
+// accepted answer is persisted before it is acknowledged, and a token
+// that is not live is rebuilt on demand by replaying its stored
+// answers through the deterministic dialog path (core.ResumeStepper).
+// MemStore keeps the answer log in memory (resume survives eviction);
+// the walstore subpackage keeps it in per-session write-ahead logs on
+// disk (resume survives crashes and restarts). Stored state that
+// cannot be recovered reports ErrGone rather than guessing.
+//
+// Invariants (DESIGN.md §9 serving, §12 durability — normative):
 //
 //   - One pending question per session; answers are validated against
 //     it and invalid answers never advance the dialog.
@@ -25,4 +34,7 @@
 //     sessions with 503 rather than blocking.
 //   - The final mappings of a session are byte-identical to what the
 //     in-process core.Session.Run produces for the same answers.
+//   - A resumed session is indistinguishable on the wire from one that
+//     never left memory: byte-identical questions and results, and
+//     concurrent resumes of one token obey the ordinary busy contract.
 package server

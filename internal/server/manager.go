@@ -61,12 +61,18 @@ var (
 // bookkeeping the manager needs. Handlers must hold mu across every
 // Stepper call (acquire tries a TryLock so a busy session answers 409
 // instead of queueing).
+//
+// During a store resume the session is briefly registered as a locked
+// placeholder with a nil Stepper; concurrent acquires of the token see
+// it busy (409), exactly as if the first resumer's request were
+// already being served.
 type Session struct {
 	// Token addresses the session; 16 random bytes, hex-encoded.
 	Token string
 	// ScenarioName is the scenario the session designs.
 	ScenarioName string
-	// Stepper holds the dialog state.
+	// Stepper holds the dialog state (nil only while a resume is
+	// rebuilding it; the placeholder is locked for that whole window).
 	Stepper *core.Stepper
 	// Created is the creation time.
 	Created time.Time
@@ -85,11 +91,17 @@ type Session struct {
 func (s *Session) Release() { s.mu.Unlock() }
 
 // MarkFinished records the dialog's terminal step once; further calls
-// are no-ops. Call with the session acquired.
-func (s *Session) MarkFinished(reg *obs.Registry) {
+// are no-ops. With a store attached the token's durable state is
+// compacted to its terminal snapshot (best-effort: a failed compaction
+// leaves the full log, which is merely larger, not wrong). Call with
+// the session acquired.
+func (s *Session) MarkFinished(mg *Manager) {
 	if !s.finished {
 		s.finished = true
-		reg.Counter(obs.MSrvSessionsFinished).Inc()
+		mg.mFinished.Inc()
+		if mg.Store != nil {
+			mg.Store.Complete(s.Token)
+		}
 	}
 }
 
@@ -114,6 +126,14 @@ type Manager struct {
 	Scenarios map[string]*Scenario
 	// Obs receives the muse_server_* metrics and spans; may be nil.
 	Obs *obs.Obs
+	// Store, when set, persists every dialog: creations and accepted
+	// answers are written through (an answer is acknowledged only after
+	// its Append returns), and a token miss in Acquire consults the
+	// store and rebuilds the dialog by replay — so eviction is harmless
+	// and, with a durable store (walstore), a restarted or different
+	// replica transparently resumes mid-dialog. Nil keeps the original
+	// memory-only behavior. Set before serving traffic.
+	Store SessionStore
 
 	mu        sync.RWMutex
 	sessions  map[string]*Session
@@ -124,6 +144,7 @@ type Manager struct {
 	// mutex.
 	mRequests, mStarted, mRejected, mEvicted *obs.Counter
 	mAnswers, mInvalid, mErrors, mSlow      *obs.Counter
+	mFinished, mResumes                     *obs.Counter
 	gLive                                   *obs.Gauge
 	hStep                                   *obs.Histogram
 	// scSteps holds one per-scenario step counter per configured
@@ -156,6 +177,8 @@ func NewManager(scenarios map[string]*Scenario, o *obs.Obs) *Manager {
 	mg.mInvalid = reg.Counter(obs.MSrvInvalidAnswers)
 	mg.mErrors = reg.Counter(obs.MSrvErrors)
 	mg.mSlow = reg.Counter(obs.MSrvSlowSteps)
+	mg.mFinished = reg.Counter(obs.MSrvSessionsFinished)
+	mg.mResumes = reg.Counter(obs.MSrvResumes)
 	mg.gLive = reg.Gauge(obs.GSrvSessionsLive)
 	mg.hStep = reg.Histogram(obs.HSrvStepSeconds, obs.SrvStepSecondsBounds...)
 	mg.scSteps = make(map[string]*obs.Counter, len(scenarios))
@@ -219,7 +242,6 @@ func (mg *Manager) Create(ctx context.Context, scenario string) (*Session, error
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoScenario, scenario)
 	}
-	store := sc.sharedStore(mg.reg())
 
 	now := time.Now()
 	mg.mu.Lock()
@@ -234,26 +256,66 @@ func (mg *Manager) Create(ctx context.Context, scenario string) (*Session, error
 		}
 	}
 
-	cs := core.NewSession(sc.Deps, sc.Real).Observe(mg.Obs)
-	// Replace the per-session store with the scenario-wide one, and keep
-	// prefetch off: its background workers capture the request context,
-	// which is dead by the next request.
-	cs.Grouping.Store = store
-	cs.Grouping.Prefetch = false
-	cs.Disambiguation.Store = store
-
 	s := &Session{
 		Token:        newToken(),
 		ScenarioName: scenario,
 		Created:      now,
 	}
+	// Persist the creation before the session exists anywhere else: a
+	// crash right after the client learns the token must find it in the
+	// store. The fsync cost sits under the manager lock, like the rest
+	// of session setup — creations are rare next to steps.
+	if mg.Store != nil {
+		if err := mg.Store.Create(s.Token, scenario); err != nil {
+			return nil, fmt.Errorf("server: persisting session: %w", err)
+		}
+	}
 	s.lastUsed.Store(now.UnixNano())
 	s.mu.Lock() // acquired for the caller; no contention possible yet
-	s.Stepper = core.NewStepper(ctx, cs, sc.Set)
+	s.Stepper = core.NewStepper(ctx, mg.coreSession(sc), sc.Set)
 	mg.sessions[s.Token] = s
 	mg.mStarted.Inc()
 	mg.gLive.Set(int64(len(mg.sessions)))
 	return s, nil
+}
+
+// coreSession builds the core session for a scenario the way every
+// dialog — created or resumed — must be built, so a resumed replay
+// sees bit-for-bit the configuration the original run had: the
+// scenario-wide index store, and prefetch off (its background workers
+// capture the request context, which is dead by the next request).
+func (mg *Manager) coreSession(sc *Scenario) *core.Session {
+	cs := core.NewSession(sc.Deps, sc.Real).Observe(mg.Obs)
+	store := sc.sharedStore(mg.reg())
+	cs.Grouping.Store = store
+	cs.Grouping.Prefetch = false
+	cs.Disambiguation.Store = store
+	return cs
+}
+
+// Answer drives one answer through the session's stepper and, when a
+// store is attached, makes the accepted answer durable before the
+// caller acknowledges it to the client. The write-through keys off the
+// stepper's accepted count, not the returned error: an answer the
+// pipeline consumed is logged even when the work toward the next
+// question then failed (request context cancelled), so the replayable
+// prefix always covers everything the dialog absorbed.
+func (mg *Manager) Answer(ctx context.Context, s *Session, a core.Answer) (core.Step, error) {
+	before := 0
+	if mg.Store != nil {
+		before = s.Stepper.Accepted()
+	}
+	step, err := s.Stepper.Answer(ctx, a)
+	if mg.Store != nil {
+		if n := s.Stepper.Accepted(); n > before {
+			if serr := mg.Store.Append(s.Token, s.ScenarioName, n, a); serr != nil && err == nil {
+				// Memory ran ahead of the log: fail the request so the
+				// client never trusts an answer the store may lose.
+				return step, fmt.Errorf("server: persisting answer: %w", serr)
+			}
+		}
+	}
+	return step, err
 }
 
 // Acquire looks a session up by token and locks it for the caller,
@@ -261,25 +323,125 @@ func (mg *Manager) Create(ctx context.Context, scenario string) (*Session, error
 // yields ErrSessionBusy rather than queueing, keeping the manager's
 // lock out of wizard-length critical sections. Lookups share the
 // manager's read lock; only a due TTL sweep takes the write lock.
-func (mg *Manager) Acquire(token string) (*Session, error) {
+//
+// On a token miss with a store attached, the manager consults the
+// store and rebuilds the dialog by replaying its accepted answers
+// (core.ResumeStepper) under ctx — so an evicted session, or one
+// created by another replica against a shared durable store, resumes
+// transparently. Stored state that cannot be replayed reports ErrGone.
+func (mg *Manager) Acquire(ctx context.Context, token string) (*Session, error) {
 	now := time.Now()
 	mg.maybeSweep(now)
 	mg.mu.RLock()
 	s, ok := mg.sessions[token]
 	mg.mu.RUnlock()
 	if !ok {
-		return nil, ErrNoSession
+		return mg.resume(ctx, token, now)
 	}
+	return lockLive(s, now)
+}
+
+// lockLive refreshes and try-locks a session found in the live map.
+func lockLive(s *Session, now time.Time) (*Session, error) {
 	s.lastUsed.Store(now.UnixNano())
 	if !s.mu.TryLock() {
 		return nil, ErrSessionBusy
 	}
+	if s.Stepper == nil {
+		// A resume placeholder whose rebuild failed, caught between its
+		// removal from the map and its unlock; the token is simply not
+		// live (the next Acquire retries the store).
+		s.mu.Unlock()
+		return nil, ErrNoSession
+	}
 	return s, nil
 }
 
-// Delete closes and removes a session. It waits for an in-flight
-// request to release the session first (Close has already cancelled
-// the session's work, so the wait is short).
+// resume rebuilds a session from the store after a token miss. A
+// locked placeholder is registered in the live map *before* the load
+// and replay, so concurrent resumes of the same token hit the ordinary
+// busy=409 TryLock contract instead of racing duplicate replays; the
+// capacity rules (sweep, LRU eviction, ErrFull) apply to a resumed
+// session exactly as to a created one.
+func (mg *Manager) resume(ctx context.Context, token string, now time.Time) (*Session, error) {
+	if mg.Store == nil {
+		return nil, ErrNoSession
+	}
+	s := &Session{Token: token, Created: now}
+	s.lastUsed.Store(now.UnixNano())
+	s.mu.Lock()
+
+	mg.mu.Lock()
+	if live, ok := mg.sessions[token]; ok {
+		// Lost the miss race: someone registered (or resumed) the token
+		// between our read-lock lookup and now.
+		mg.mu.Unlock()
+		return lockLive(live, now)
+	}
+	if mg.sweepDue(now) || len(mg.sessions) >= mg.max() {
+		mg.sweepLocked(now)
+	}
+	if len(mg.sessions) >= mg.max() {
+		if !mg.evictLRULocked() {
+			mg.mu.Unlock()
+			mg.mRejected.Inc()
+			return nil, ErrFull
+		}
+	}
+	mg.sessions[token] = s
+	mg.gLive.Set(int64(len(mg.sessions)))
+	mg.mu.Unlock()
+
+	st, scenario, err := mg.rebuild(ctx, token)
+	if err != nil {
+		mg.mu.Lock()
+		if mg.sessions[token] == s {
+			delete(mg.sessions, token)
+			mg.gLive.Set(int64(len(mg.sessions)))
+		}
+		mg.mu.Unlock()
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.ScenarioName = scenario
+	s.Stepper = st
+	mg.mResumes.Inc()
+	return s, nil
+}
+
+// rebuild loads a token's stored dialog and replays it over a fresh
+// core session, classifying failures: unknown token is ErrNoSession,
+// a cancelled request context propagates as-is, and unreadable or
+// unreplayable state — corrupt log, unknown scenario, a snapshot the
+// dialog rejects — is ErrGone (410): the token is permanently lost and
+// the client should start over.
+func (mg *Manager) rebuild(ctx context.Context, token string) (*core.Stepper, string, error) {
+	stored, ok, err := mg.Store.Load(token)
+	if err != nil {
+		return nil, "", fmt.Errorf("%w: %v", ErrGone, err)
+	}
+	if !ok {
+		return nil, "", ErrNoSession
+	}
+	sc, ok := mg.Scenarios[stored.Scenario]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: scenario %q is not served by this replica", ErrGone, stored.Scenario)
+	}
+	st, err := core.ResumeStepper(ctx, mg.coreSession(sc), sc.Set, stored.Answers)
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+		return nil, "", fmt.Errorf("%w: replaying %d answer(s): %v", ErrGone, len(stored.Answers), err)
+	}
+	return st, stored.Scenario, nil
+}
+
+// Delete closes and removes a session, along with its stored state —
+// DELETE is the client saying the dialog is over for good. It waits
+// for an in-flight request to release the session first (Close has
+// already cancelled the session's work, so the wait is short). A token
+// that is not live but still stored deletes cleanly too.
 func (mg *Manager) Delete(token string) error {
 	mg.mu.Lock()
 	s, ok := mg.sessions[token]
@@ -288,11 +450,25 @@ func (mg *Manager) Delete(token string) error {
 		mg.gLive.Set(int64(len(mg.sessions)))
 	}
 	mg.mu.Unlock()
+	stored := false
+	if mg.Store != nil {
+		if found, err := mg.Store.Delete(token); err == nil && found {
+			stored = true
+		}
+	}
 	if !ok {
+		if stored {
+			return nil
+		}
 		return ErrNoSession
 	}
-	s.Stepper.Close()
-	s.mu.Lock() // drain any in-flight handler
+	if s.Stepper != nil {
+		s.Stepper.Close()
+	}
+	s.mu.Lock() // drain any in-flight handler (or resume) on the session
+	if s.Stepper != nil {
+		s.Stepper.Close() // a resume finished while we waited
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -309,7 +485,9 @@ func (mg *Manager) Close() {
 	mg.gLive.Set(0)
 	mg.mu.Unlock()
 	for _, s := range all {
-		s.Stepper.Close()
+		if s.Stepper != nil {
+			s.Stepper.Close()
+		}
 	}
 }
 
@@ -377,6 +555,8 @@ func (mg *Manager) sweepLocked(now time.Time) {
 		if !s.mu.TryLock() {
 			continue // busy: not idle, not evictable
 		}
+		// Eviction only drops the in-memory dialog; with a store attached
+		// the token's state remains and the next Acquire resumes it.
 		delete(mg.sessions, token)
 		s.Stepper.Close()
 		s.mu.Unlock()

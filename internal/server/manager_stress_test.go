@@ -53,7 +53,7 @@ func TestManagerStressRace(t *testing.T) {
 
 				// While we hold the session it is busy: a concurrent
 				// lookup must see it (busy), never a hole (evicted).
-				if _, err := mg.Acquire(token); !errors.Is(err, server.ErrSessionBusy) {
+				if _, err := mg.Acquire(context.Background(), token); !errors.Is(err, server.ErrSessionBusy) {
 					t.Errorf("worker %d: busy session lookup = %v, want ErrSessionBusy", w, err)
 				}
 				s.Release()
@@ -62,7 +62,7 @@ func TestManagerStressRace(t *testing.T) {
 				// eviction, so ErrNoSession is legal — but nobody else
 				// knows the token, so ErrSessionBusy is not, and a
 				// successful acquire must return the named session.
-				s2, err := mg.Acquire(token)
+				s2, err := mg.Acquire(context.Background(), token)
 				switch {
 				case err == nil:
 					if s2.Token != token {
@@ -74,7 +74,7 @@ func TestManagerStressRace(t *testing.T) {
 							t.Errorf("worker %d: delete: %v", w, err)
 						}
 						// Deleted tokens never resolve again.
-						if _, err := mg.Acquire(token); !errors.Is(err, server.ErrNoSession) {
+						if _, err := mg.Acquire(context.Background(), token); !errors.Is(err, server.ErrNoSession) {
 							t.Errorf("worker %d: deleted token resolved: %v", w, err)
 						}
 					}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -242,6 +243,14 @@ func mapManagerErr(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, "full", err)
 	case errors.Is(err, ErrSessionBusy):
 		writeError(w, http.StatusConflict, "busy", err)
+	case errors.Is(err, ErrGone):
+		// The token's durable state exists but cannot be resumed
+		// (corrupt record, unserved scenario): permanently lost, start a
+		// new session.
+		writeError(w, http.StatusGone, "gone", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client's context died while a resume was replaying.
+		writeError(w, http.StatusGatewayTimeout, "cancelled", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", err)
 	}
@@ -263,7 +272,7 @@ func stepBody(s *Session, step core.Step) map[string]any {
 // the tree or the reflection.
 func (s *Server) writeStep(w http.ResponseWriter, sess *Session, step core.Step, status int) {
 	if step.Done {
-		sess.MarkFinished(s.Manager.reg())
+		sess.MarkFinished(s.Manager)
 	}
 	jw := getJW()
 	appendStepBody(jw, sess, step)
@@ -306,7 +315,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 	defer s.observeStep(time.Now())
-	sess, err := s.Manager.Acquire(r.PathValue("token"))
+	sess, err := s.Manager.Acquire(r.Context(), r.PathValue("token"))
 	if err != nil {
 		mapManagerErr(w, err)
 		return
@@ -331,14 +340,14 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, fmt.Errorf("server: decoding answer: %w", err))
 		return
 	}
-	sess, err := s.Manager.Acquire(r.PathValue("token"))
+	sess, err := s.Manager.Acquire(r.Context(), r.PathValue("token"))
 	if err != nil {
 		mapManagerErr(w, err)
 		return
 	}
 	noteSession(w, sess)
 	defer sess.Release()
-	step, err := sess.Stepper.Answer(r.Context(), core.Answer{Scenario: req.Scenario, Choices: req.Choices})
+	step, err := s.Manager.Answer(r.Context(), sess, core.Answer{Scenario: req.Scenario, Choices: req.Choices})
 	switch {
 	case errors.Is(err, core.ErrInvalidAnswer):
 		s.Manager.mInvalid.Inc()
@@ -353,7 +362,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.Manager.Acquire(r.PathValue("token"))
+	sess, err := s.Manager.Acquire(r.Context(), r.PathValue("token"))
 	if err != nil {
 		mapManagerErr(w, err)
 		return
@@ -365,7 +374,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	step := sess.Stepper.Result()
-	sess.MarkFinished(s.Manager.reg())
+	sess.MarkFinished(s.Manager)
 	jw := getJW()
 	appendResult(jw, sess, step)
 	w.Header().Set("Content-Type", "application/json")

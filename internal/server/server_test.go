@@ -338,7 +338,7 @@ func TestManagerBounds(t *testing.T) {
 	s1, s2 := open(), open()
 	_ = s2
 	s3 := open() // forces eviction of s1, the LRU
-	if _, err := mg.Acquire(s1.Token); err != server.ErrNoSession {
+	if _, err := mg.Acquire(context.Background(), s1.Token); err != server.ErrNoSession {
 		t.Errorf("LRU session still acquirable after eviction: %v", err)
 	}
 	if got := mg.Len(); got != 2 {
@@ -346,16 +346,16 @@ func TestManagerBounds(t *testing.T) {
 	}
 
 	// A busy session is never evicted: hold s2 and fill the manager.
-	held, err := mg.Acquire(s2.Token)
+	held, err := mg.Acquire(context.Background(), s2.Token)
 	if err != nil {
 		t.Fatal(err)
 	}
 	open() // evicts s3 (idle), not s2 (busy)
-	if _, err := mg.Acquire(s3.Token); err != server.ErrNoSession {
+	if _, err := mg.Acquire(context.Background(), s3.Token); err != server.ErrNoSession {
 		t.Errorf("idle s3 should have been evicted: %v", err)
 	}
 	held.Release()
-	again, err := mg.Acquire(s2.Token)
+	again, err := mg.Acquire(context.Background(), s2.Token)
 	if err != nil {
 		t.Fatalf("busy session was evicted: %v", err)
 	}

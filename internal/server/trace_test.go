@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -104,7 +105,7 @@ func TestRequestIDEcho(t *testing.T) {
 	// 503 full: one-session manager whose only session is held busy, so
 	// eviction cannot make room.
 	mg.MaxSessions = 1
-	held, err := mg.Acquire(token)
+	held, err := mg.Acquire(context.Background(), token)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,219 @@
+package walstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"muse/internal/core"
+)
+
+const tok = "00112233445566778899aabbccddeeff"
+
+func open(t *testing.T, dir string) (*Store, RecoveryStats) {
+	t.Helper()
+	s, stats, err := Open(dir, Options{Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, stats
+}
+
+func seed(t *testing.T, s *Store, answers int) {
+	t.Helper()
+	if err := s.Create(tok, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= answers; i++ {
+		if err := s.Append(tok, "fig1", i, core.Answer{Scenario: 1 + i%2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 3)
+	if err := s.Append(tok, "fig1", 4, core.Answer{Choices: [][]int{{0}, {1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	ss, ok, err := s.Load(tok)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if ss.Scenario != "fig1" || len(ss.Answers) != 4 || ss.Done {
+		t.Fatalf("Load = %+v", ss)
+	}
+	if got := ss.Answers[3].Choices; len(got) != 2 || got[1][1] != 2 {
+		t.Fatalf("choices did not round-trip: %v", got)
+	}
+	if _, ok, _ := s.Load(strings.Repeat("a", 32)); ok {
+		t.Fatal("unknown token loaded")
+	}
+}
+
+func TestReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 5)
+	s.Close()
+
+	s2, stats := open(t, dir)
+	if stats.Sessions != 1 || stats.TornTails != 0 || stats.Corrupt != 0 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	ss, ok, err := s2.Load(tok)
+	if err != nil || !ok || len(ss.Answers) != 5 {
+		t.Fatalf("Load after reopen: ok=%v err=%v answers=%d", ok, err, len(ss.Answers))
+	}
+	// Appends continue against a recovered log.
+	if err := s2.Append(tok, "fig1", 6, core.Answer{Scenario: 2}); err != nil {
+		t.Fatal(err)
+	}
+	toks, err := s2.Tokens()
+	if err != nil || len(toks) != 1 || toks[0] != tok {
+		t.Fatalf("Tokens = %v, %v", toks, err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 4)
+	s.Close()
+
+	// Crash mid-append: the 5th record is cut short.
+	path := filepath.Join(dir, tok+".wal")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"c":"0a1b2c3d","r":{"op":"answ`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	s2, stats := open(t, dir)
+	if stats.Sessions != 1 || stats.TornTails != 1 || stats.Corrupt != 0 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	ss, ok, err := s2.Load(tok)
+	if err != nil || !ok || len(ss.Answers) != 4 {
+		t.Fatalf("Load after torn tail: ok=%v err=%v answers=%d (want the 4 whole records)", ok, err, len(ss.Answers))
+	}
+}
+
+func TestChecksumMismatchIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 4)
+	s.Close()
+
+	// Flip one byte inside an early record's payload: the checksum
+	// breaks mid-file, with good records after it.
+	path := filepath.Join(dir, tok+".wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := len(data) / 4
+	for data[i] == '\n' || data[i] == '"' {
+		i++
+	}
+	data[i] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, stats := open(t, dir)
+	if stats.Corrupt != 1 || stats.Sessions != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 corrupt", stats)
+	}
+	if _, _, err := s2.Load(tok); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of corrupt log: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestCompleteCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 6)
+	big, _ := os.Stat(filepath.Join(dir, tok+".wal"))
+	if err := s.Complete(tok); err != nil {
+		t.Fatal(err)
+	}
+	small, _ := os.Stat(filepath.Join(dir, tok+".wal"))
+	if small.Size() >= big.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", big.Size(), small.Size())
+	}
+	ss, ok, err := s.Load(tok)
+	if err != nil || !ok {
+		t.Fatalf("Load after compaction: ok=%v err=%v", ok, err)
+	}
+	if !ss.Done || len(ss.Answers) != 6 {
+		t.Fatalf("compacted state = done=%v answers=%d, want done with 6 answers", ss.Done, len(ss.Answers))
+	}
+	// The compacted log survives a reopen too.
+	s.Close()
+	s2, stats := open(t, dir)
+	if stats.Sessions != 1 {
+		t.Fatalf("recovery stats after compaction = %+v", stats)
+	}
+	if ss, _, _ := s2.Load(tok); !ss.Done {
+		t.Fatal("compacted snapshot lost across reopen")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 2)
+	found, err := s.Delete(tok)
+	if err != nil || !found {
+		t.Fatalf("Delete: found=%v err=%v", found, err)
+	}
+	if _, ok, _ := s.Load(tok); ok {
+		t.Fatal("deleted token still loads")
+	}
+	found, err = s.Delete(tok)
+	if err != nil || found {
+		t.Fatalf("second Delete: found=%v err=%v", found, err)
+	}
+}
+
+func TestRejectsHostileToken(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	for _, bad := range []string{"", "short", "../../etc/passwd", "ABCDEF0011223344", "zz112233445566778899aabbccddeeff"} {
+		if err := s.Create(bad, "fig1"); err == nil {
+			t.Fatalf("Create accepted hostile token %q", bad)
+		}
+	}
+}
+
+func TestAbandonedTmpCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 1)
+	s.Close()
+	tmp := filepath.Join(dir, tok+".wal.tmp")
+	if err := os.WriteFile(tmp, []byte("half a compaction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats := open(t, dir)
+	if stats.Sessions != 1 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("abandoned .tmp not removed at boot")
+	}
+}

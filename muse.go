@@ -277,6 +277,14 @@ func NewStepper(ctx context.Context, s *Session, set *MappingSet) *Stepper {
 	return core.NewStepper(ctx, s, set)
 }
 
+// ResumeStepper rebuilds a dialog by replaying previously accepted
+// answers (a Stepper.Snapshot, or a durable answer log) through a
+// fresh session. Dialogs are deterministic, so the resumed stepper
+// asks the same remaining questions a never-interrupted one would.
+func ResumeStepper(ctx context.Context, s *Session, set *MappingSet, answers []Answer) (*Stepper, error) {
+	return core.ResumeStepper(ctx, s, set, answers)
+}
+
 // NewServer wraps a session manager as an http.Handler serving the
 // docs/API.md wire protocol.
 func NewServer(mg *ServerManager) *Server { return server.New(mg) }
