@@ -202,7 +202,11 @@ func TestBenchGuard(t *testing.T) {
 		}
 		in := s.NewInstance(0.1)
 		// One wizard across iterations: the warm (index-reusing) half of
-		// the baseline pair.
+		// the baseline pair. The wizard's Ranker is left nil, and the
+		// baseline predates the evidence ranker entirely, so the exact
+		// (no-headroom) allocs/op comparison below doubles as the
+		// ranker-disabled guard: a disabled ranker must stay one nil
+		// check per question, adding zero allocations to the probe path.
 		w := core.NewGroupingWizard(s.Src, in)
 		w.Timeout = 100 * time.Millisecond
 		r := testing.Benchmark(func(b *testing.B) {

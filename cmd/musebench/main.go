@@ -37,7 +37,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	table := flag.String("table", "all", "characteristics | museg | mused | all")
+	table := flag.String("table", "all", "characteristics | museg | mused | auto | all")
 	scenario := flag.String("scenario", "", "restrict to one scenario (Mondial, DBLP, TPCH, Amalgam)")
 	scaleFlag := flag.String("scale", "1", "instance scale: a float or SF<n> (1 ≈ the paper's data sizes)")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-question real-example retrieval budget")
@@ -98,7 +98,8 @@ func main() {
 	runChar := *table == "all" || *table == "characteristics"
 	runG := *table == "all" || *table == "museg"
 	runD := *table == "all" || *table == "mused"
-	if !runChar && !runG && !runD {
+	runAuto := *table == "all" || *table == "auto"
+	if !runChar && !runG && !runD && !runAuto {
 		log.Fatalf("unknown table %q", *table)
 	}
 
@@ -148,6 +149,19 @@ func main() {
 		if len(rows) > 0 {
 			fmt.Println(bench.FormatMuseD(rows))
 		}
+	}
+
+	if runAuto {
+		var rows []bench.AutoRow
+		for _, s := range scns {
+			row, err := bench.RunAuto(s, scale, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr, "· %s auto done%s\n", s.Name, deltas.line())
+		}
+		fmt.Println(bench.FormatAuto(rows))
 	}
 
 	if o != nil {

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -113,6 +114,7 @@ type Config struct {
 	ResumePause time.Duration `json:"resume_pause_ns"`
 	Timeout     time.Duration `json:"timeout_ns"`
 	Slowest     int           `json:"slowest"`
+	Answers     string        `json:"answers"`
 	Report      string        `json:"-"`
 }
 
@@ -132,6 +134,7 @@ func parseFlags() Config {
 	flag.DurationVar(&cfg.ResumePause, "resume-pause", time.Second, "idle span for -kill-resume dialogs (set past the server's -ttl so eviction actually happens)")
 	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
 	flag.IntVar(&cfg.Slowest, "slowest", 5, "report the server-side span breakdown for this many slowest steps (0 = off)")
+	flag.StringVar(&cfg.Answers, "answers", "seeded", `answer policy: "seeded" (random from -seed) or "ranked" (follow the server's decisive ranking, seeded fallback; needs musesrv -auto-threshold)`)
 	flag.StringVar(&cfg.Report, "report", "", "write the JSON report here (default stdout)")
 	flag.Parse()
 
@@ -161,6 +164,9 @@ func parseFlags() Config {
 	if len(cfg.Scenarios) == 0 {
 		log.Fatal("museload: -scenarios is empty")
 	}
+	if cfg.Answers != "seeded" && cfg.Answers != "ranked" {
+		log.Fatalf("museload: -answers %q: want \"seeded\" or \"ranked\"", cfg.Answers)
+	}
 	return cfg
 }
 
@@ -179,7 +185,7 @@ type Report struct {
 	// histogram scraped off /metrics (handler-side wall time, no
 	// network or queueing).
 	ServerStepSeconds Quantiles        `json:"server_step_seconds"`
-	ServerCounters map[string]int64 `json:"server_counters"`
+	ServerCounters    map[string]int64 `json:"server_counters"`
 	// SlowestSteps closes the loop from load number to root cause: the
 	// client's slowest steps, each with the server-side span breakdown
 	// (chase vs query vs everything else) pulled off GET /debug/slow by
@@ -220,18 +226,35 @@ type Sessions struct {
 }
 
 type Steps struct {
-	Total     int64   `json:"total"`
-	Answers   int64   `json:"answers"`
-	PerSecond float64 `json:"per_second"`
+	Total   int64 `json:"total"`
+	Answers int64 `json:"answers"`
+	// AutoAnswered counts answers where the -answers ranked policy
+	// followed the server's decisive recommendation (0 under seeded).
+	AutoAnswered int64   `json:"auto_answered"`
+	PerSecond    float64 `json:"per_second"`
+}
+
+// NullableSeconds renders NaN and ±Inf as JSON null instead of
+// letting encoding/json reject the whole report: a histogram with no
+// samples has *absent* quantiles (obs.Quantile returns NaN), not zero
+// ones, and a zero-traffic run must still produce a valid report.
+type NullableSeconds float64
+
+func (f NullableSeconds) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
 }
 
 type Quantiles struct {
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
-	Mean  float64 `json:"mean"`
-	Max   float64 `json:"max"`
-	Count int64   `json:"count"`
+	P50   NullableSeconds `json:"p50"`
+	P95   NullableSeconds `json:"p95"`
+	P99   NullableSeconds `json:"p99"`
+	Mean  NullableSeconds `json:"mean"`
+	Max   NullableSeconds `json:"max"`
+	Count int64           `json:"count"`
 }
 
 // loader owns the shared run state; workers touch only atomics and
@@ -249,6 +272,7 @@ type loader struct {
 	failed    atomic.Int64
 	steps     atomic.Int64
 	answers   atomic.Int64
+	auto      atomic.Int64 // ranked-policy answers that followed the recommendation
 	resumes   atomic.Int64 // verified kill/resume round-trips
 	errs      atomic.Int64
 
@@ -333,9 +357,10 @@ func (ld *loader) run() *Report {
 			PerSecond:   float64(ld.finished.Load()) / elapsed.Seconds(),
 		},
 		Steps: Steps{
-			Total:     ld.steps.Load(),
-			Answers:   ld.answers.Load(),
-			PerSecond: float64(ld.steps.Load()) / elapsed.Seconds(),
+			Total:        ld.steps.Load(),
+			Answers:      ld.answers.Load(),
+			AutoAnswered: ld.auto.Load(),
+			PerSecond:    float64(ld.steps.Load()) / elapsed.Seconds(),
 		},
 		ClientStepSeconds: exactQuantiles(all),
 		ResumeChecks:      ld.resumes.Load(),
@@ -442,6 +467,8 @@ func (ld *loader) reportSlowest(rep *Report, allRecs []stepRec) error {
 func exactQuantiles(lats []float64) Quantiles {
 	q := Quantiles{Count: int64(len(lats))}
 	if len(lats) == 0 {
+		nan := NullableSeconds(math.NaN())
+		q.P50, q.P95, q.P99, q.Mean, q.Max = nan, nan, nan, nan, nan
 		return q
 	}
 	sort.Float64s(lats)
@@ -459,8 +486,8 @@ func exactQuantiles(lats []float64) Quantiles {
 	for _, v := range lats {
 		sum += v
 	}
-	q.P50, q.P95, q.P99 = at(0.50), at(0.95), at(0.99)
-	q.Mean, q.Max = sum/float64(len(lats)), lats[len(lats)-1]
+	q.P50, q.P95, q.P99 = NullableSeconds(at(0.50)), NullableSeconds(at(0.95)), NullableSeconds(at(0.99))
+	q.Mean, q.Max = NullableSeconds(sum/float64(len(lats))), NullableSeconds(lats[len(lats)-1])
 	return q
 }
 
@@ -471,19 +498,31 @@ type worker struct {
 	recs []stepRec
 }
 
+// wireRanking is the slice of the question's ranking envelope the
+// ranked answer policy needs: the recommended option and whether the
+// server judged the evidence decisive.
+type wireRanking struct {
+	Best     int  `json:"best"`
+	Decisive bool `json:"decisive"`
+}
+
 // wireStep is the part of the step envelope the answer policy needs.
 type wireStep struct {
 	Token string `json:"token"`
 	Error string `json:"error"`
 	Code  string `json:"code"`
 	Step  struct {
-		Seq    int    `json:"seq"`
-		State  string `json:"state"`
-		Error  string `json:"error"`
+		Seq      int    `json:"seq"`
+		State    string `json:"state"`
+		Error    string `json:"error"`
+		Grouping struct {
+			Ranking *wireRanking `json:"ranking"`
+		} `json:"grouping"`
 		Choice struct {
 			Choices []struct {
 				Values []string `json:"values"`
 			} `json:"choices"`
+			Rankings []wireRanking `json:"rankings"`
 		} `json:"choice"`
 	} `json:"step"`
 }
@@ -565,20 +604,43 @@ func (wk *worker) dialog() {
 	}
 }
 
-// answerBody derives the seeded answer for the pending question:
-// grouping questions get a fair coin over the two scenarios; choice
-// questions select one alternative per or-group, occasionally two
-// (which keeps several interpretations and splits the mapping —
-// deliberately the expensive path).
+// answerBody derives the answer for the pending question. The default
+// seeded policy scripts everything off the worker rng: grouping
+// questions get a fair coin over the two scenarios; choice questions
+// select one alternative per or-group, occasionally two (which keeps
+// several interpretations and splits the mapping — deliberately the
+// expensive path). The ranked policy plays an unattended designer
+// instead: whenever the question envelope carries a decisive ranking
+// (musesrv -auto-threshold) it follows the recommended option, and
+// only indecisive questions fall back to the seeded script.
 func (wk *worker) answerBody(step wireStep) string {
+	ranked := wk.ld.cfg.Answers == "ranked"
 	if step.Step.State == "grouping_question" {
+		if rk := step.Step.Grouping.Ranking; ranked && rk != nil && rk.Decisive {
+			wk.ld.auto.Add(1)
+			return fmt.Sprintf(`{"scenario": %d}`, rk.Best)
+		}
 		return fmt.Sprintf(`{"scenario": %d}`, 1+wk.rng.Intn(2))
+	}
+	rks := step.Step.Choice.Rankings
+	followRanked := ranked && len(rks) == len(step.Step.Choice.Choices)
+	if followRanked {
+		for _, rk := range rks {
+			if !rk.Decisive {
+				followRanked = false
+				break
+			}
+		}
 	}
 	var b strings.Builder
 	b.WriteString(`{"choices": [`)
 	for gi, g := range step.Step.Choice.Choices {
 		if gi > 0 {
 			b.WriteByte(',')
+		}
+		if followRanked {
+			fmt.Fprintf(&b, "[%d]", rks[gi].Best-1)
+			continue
 		}
 		n := len(g.Values)
 		first := wk.rng.Intn(n)
@@ -590,6 +652,9 @@ func (wk *worker) answerBody(step wireStep) string {
 		}
 	}
 	b.WriteString("]}")
+	if followRanked {
+		wk.ld.auto.Add(1)
+	}
 	return b.String()
 }
 
@@ -733,14 +798,18 @@ func (ld *loader) scrapeMetrics(rep *Report) error {
 	if !ok {
 		return fmt.Errorf("no %s histogram on /metrics", obs.HSrvStepSeconds)
 	}
+	// Quantile returns NaN on an empty histogram; NullableSeconds
+	// renders that as null instead of failing the whole report.
 	rep.ServerStepSeconds = Quantiles{
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		P50:   NullableSeconds(h.Quantile(0.50)),
+		P95:   NullableSeconds(h.Quantile(0.95)),
+		P99:   NullableSeconds(h.Quantile(0.99)),
+		Mean:  NullableSeconds(math.NaN()),
+		Max:   NullableSeconds(math.NaN()),
 		Count: h.Count,
 	}
 	if h.Count > 0 {
-		rep.ServerStepSeconds.Mean = h.Sum / float64(h.Count)
+		rep.ServerStepSeconds.Mean = NullableSeconds(h.Sum / float64(h.Count))
 	}
 	return nil
 }

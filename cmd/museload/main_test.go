@@ -59,10 +59,11 @@ func TestExactQuantiles(t *testing.T) {
 	if q.P50 != 50 || q.P95 != 95 || q.P99 != 99 || q.Max != 100 || q.Count != 100 {
 		t.Errorf("quantiles wrong: %+v", q)
 	}
-	if math.Abs(q.Mean-50.5) > 1e-9 {
-		t.Errorf("mean = %g, want 50.5", q.Mean)
+	if math.Abs(float64(q.Mean)-50.5) > 1e-9 {
+		t.Errorf("mean = %g, want 50.5", float64(q.Mean))
 	}
-	if z := exactQuantiles(nil); z.Count != 0 || z.P50 != 0 {
+	// Empty input has no quantiles: NaN internally, null on the wire.
+	if z := exactQuantiles(nil); z.Count != 0 || !math.IsNaN(float64(z.P50)) {
 		t.Errorf("empty quantiles: %+v", z)
 	}
 }
@@ -72,7 +73,7 @@ func TestExactQuantiles(t *testing.T) {
 // (non-empty distinct in-range selections per group).
 func TestAnswerBodyDeterministic(t *testing.T) {
 	mk := func(seed int64) []string {
-		wk := &worker{rng: rand.New(rand.NewSource(seed))}
+		wk := &worker{ld: &loader{cfg: Config{Answers: "seeded"}}, rng: rand.New(rand.NewSource(seed))}
 		var step wireStep
 		step.Step.State = "grouping_question"
 		var out []string

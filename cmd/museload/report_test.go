@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"muse/internal/obs"
+)
+
+// TestZeroTrafficReportEncodes is the regression test for the NaN
+// report bug: a run that observed no steps (server idle, -duration
+// elapsed before any dialog) has empty latency samples and an empty
+// server histogram, whose quantiles are NaN — encoding/json rejects
+// NaN outright, which used to fail the entire report. Absent
+// quantiles must render as null and the report must stay valid JSON.
+func TestZeroTrafficReportEncodes(t *testing.T) {
+	rep := &Report{
+		Config:            Config{Scenarios: []string{"fig1"}, Answers: "seeded"},
+		ClientStepSeconds: exactQuantiles(nil),
+	}
+	// The server-side path: an empty scraped histogram yields NaN from
+	// every Quantile call, exactly what scrapeMetrics stores.
+	var h obs.PromHist
+	rep.ServerStepSeconds = Quantiles{
+		P50:  NullableSeconds(h.Quantile(0.50)),
+		P95:  NullableSeconds(h.Quantile(0.95)),
+		P99:  NullableSeconds(h.Quantile(0.99)),
+		Mean: NullableSeconds(math.NaN()),
+		Max:  NullableSeconds(math.NaN()),
+	}
+	if !math.IsNaN(float64(rep.ServerStepSeconds.P95)) {
+		t.Fatalf("empty PromHist quantile = %v, want NaN (the bug's trigger)", rep.ServerStepSeconds.P95)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("zero-traffic report does not encode: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, section := range []string{"client_step_seconds", "server_step_seconds"} {
+		q, ok := decoded[section].(map[string]any)
+		if !ok {
+			t.Fatalf("report lacks %s", section)
+		}
+		for _, field := range []string{"p50", "p95", "p99", "mean", "max"} {
+			if v, present := q[field]; !present || v != nil {
+				t.Errorf("%s.%s = %v, want null for a zero-traffic run", section, field, v)
+			}
+		}
+		if c, _ := q["count"].(float64); c != 0 {
+			t.Errorf("%s.count = %v, want 0", section, q["count"])
+		}
+	}
+}
+
+// TestNullableSecondsMarshal pins the wire encoding: finite values
+// render as ordinary numbers, NaN and both infinities as null.
+func TestNullableSecondsMarshal(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.0125, "0.0125"},
+		{math.NaN(), "null"},
+		{math.Inf(1), "null"},
+		{math.Inf(-1), "null"},
+	}
+	for _, c := range cases {
+		got, err := json.Marshal(NullableSeconds(c.in))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("NullableSeconds(%v) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestAnswerBodyRanked pins the ranked answer policy: decisive
+// rankings are followed verbatim (and tallied), indecisive or absent
+// rankings fall back to the seeded script.
+func TestAnswerBodyRanked(t *testing.T) {
+	ld := &loader{cfg: Config{Answers: "ranked"}}
+	wk := &worker{ld: ld, rng: rand.New(rand.NewSource(1))}
+
+	var step wireStep
+	step.Step.State = "grouping_question"
+	step.Step.Grouping.Ranking = &wireRanking{Best: 2, Decisive: true}
+	if got := wk.answerBody(step); got != `{"scenario": 2}` {
+		t.Errorf("decisive grouping answer = %q, want scenario 2", got)
+	}
+	if ld.auto.Load() != 1 {
+		t.Errorf("auto tally = %d, want 1", ld.auto.Load())
+	}
+
+	// Indecisive: seeded fallback, no tally.
+	step.Step.Grouping.Ranking = &wireRanking{Best: 2, Decisive: false}
+	if got := wk.answerBody(step); !strings.HasPrefix(got, `{"scenario": `) {
+		t.Errorf("indecisive grouping answer = %q", got)
+	}
+	if ld.auto.Load() != 1 {
+		t.Errorf("auto tally moved on an indecisive question: %d", ld.auto.Load())
+	}
+
+	// Choice question with all groups decisive: Best is 1-based on the
+	// wire, selections are 0-based.
+	step = wireStep{}
+	step.Step.State = "choice_question"
+	step.Step.Choice.Choices = []struct {
+		Values []string `json:"values"`
+	}{{Values: []string{"a", "b", "c"}}, {Values: []string{"x", "y"}}}
+	step.Step.Choice.Rankings = []wireRanking{{Best: 3, Decisive: true}, {Best: 1, Decisive: true}}
+	if got := wk.answerBody(step); got != `{"choices": [[2],[0]]}` {
+		t.Errorf("decisive choice answer = %q, want [[2],[0]]", got)
+	}
+	if ld.auto.Load() != 2 {
+		t.Errorf("auto tally = %d, want 2", ld.auto.Load())
+	}
+
+	// One indecisive group escalates the whole question to the seeded
+	// script (partial auto-answers would mix policies mid-question).
+	step.Step.Choice.Rankings[1].Decisive = false
+	before := ld.auto.Load()
+	got := wk.answerBody(step)
+	if !strings.HasPrefix(got, `{"choices": [`) {
+		t.Errorf("escalated choice answer = %q", got)
+	}
+	if ld.auto.Load() != before {
+		t.Error("auto tally moved on an escalated choice question")
+	}
+}

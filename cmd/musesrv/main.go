@@ -8,7 +8,8 @@
 //
 //	musesrv [-addr :8080] [-max-sessions 64] [-session-ttl 30m (alias -ttl)]
 //	        [-store mem|wal] [-wal-dir DIR] [-fsync=true]
-//	        [-prime=false] [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
+//	        [-prime=false] [-auto-threshold 0.15]
+//	        [-doc scenario.muse -src S -tgt T [-instance I] [-name NAME]]
 //	        [-trace spans.jsonl] [-access-log access.jsonl]
 //	        [-slow-threshold 250ms] [-slow-cap 64] [-debug-addr 127.0.0.1:6060]
 //
@@ -23,6 +24,14 @@
 // slower than -slow-threshold at GET /debug/slow (0 captures every
 // step, -1 disables), and -debug-addr exposes net/http/pprof and
 // expvar on a separate listener (keep it private).
+//
+// Auto-answering: -auto-threshold T > 0 attaches the evidence ranker
+// to every session, so each question envelope carries per-option
+// scores ("ranking"/"rankings"), the recommended answer ("best"), and
+// a "decisive" verdict at confidence T — an unattended client (see
+// museload -answers ranked) follows the recommendation and only
+// escalates indecisive questions. Resumed dialogs replay with the
+// identical configuration, so rankings never perturb resume.
 //
 // Durability: -store mem (default) keeps accepted answers in memory
 // so only eviction is survivable; -store wal appends each accepted
@@ -69,6 +78,7 @@ func main() {
 	fsync := flag.Bool("fsync", true, "fsync each WAL append before acknowledging the answer (with -store wal)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	prime := flag.Bool("prime", true, "build scenario indexes and warm the first question before serving")
+	autoThreshold := flag.Float64("auto-threshold", 0, "attach evidence rankings to every question, marked decisive at this confidence (0 disables)")
 	docPath := flag.String("doc", "", "Muse document to serve as a scenario (optional)")
 	src := flag.String("src", "", "source schema name (with -doc)")
 	tgt := flag.String("tgt", "", "target schema name (with -doc)")
@@ -113,6 +123,7 @@ func main() {
 	mg := server.NewManager(scenarios, o)
 	mg.MaxSessions = *maxSessions
 	mg.TTL = *sessionTTL
+	mg.AutoThreshold = *autoThreshold
 	switch *storeKind {
 	case "mem":
 		mg.Store = server.NewMemStore()

@@ -254,3 +254,70 @@ func RunMuseDObs(s *scenarios.Scenario, scale float64, o *obs.Obs) (MuseDRow, er
 	}
 	return row, nil
 }
+
+// AutoRow is one row of the questions-saved table: a full design
+// session (Muse-D then Muse-G over every mapping) run once
+// interactively — every question answered by a designer — and once
+// with the unattended auto-designer answering every decisively ranked
+// question itself. Rankings are advisory, so both runs pose the same
+// questions; the saving is in how many a human must answer.
+type AutoRow struct {
+	Scenario string
+	// Questions is the dialog length (identical in both runs).
+	Questions int
+	// AutoAnswered is how many the auto-designer answered unattended.
+	AutoAnswered int
+	// Escalated is how many it handed to the human fallback — the
+	// interactive cost of a `muse -auto` run.
+	Escalated int
+	// Saved is AutoAnswered / Questions.
+	Saved float64
+}
+
+// RunAuto measures questions saved by the auto-designer on one
+// scenario. The fallback designer (and the interactive baseline)
+// always picks the top-ranked choice, so the two runs walk identical
+// dialogs and the comparison isolates attendance, not answers.
+func RunAuto(s *scenarios.Scenario, scale float64, threshold float64) (AutoRow, error) {
+	set, err := s.Generate()
+	if err != nil {
+		return AutoRow{}, err
+	}
+	in := s.NewInstance(scale)
+	session := core.NewSession(s.Src, in).Rank(threshold)
+	ad := core.NewAutoDesigner(threshold, topRanked{}, topRanked{})
+	if _, err := session.Run(set, ad, ad); err != nil {
+		return AutoRow{}, fmt.Errorf("bench: auto session on %s: %v", s.Name, err)
+	}
+	st := ad.Stats
+	row := AutoRow{
+		Scenario:     s.Name,
+		Questions:    st.Questions(),
+		AutoAnswered: st.Auto + st.Forced,
+		Escalated:    st.Escalated,
+		Saved:        st.SavedFraction(),
+	}
+	return row, nil
+}
+
+// topRanked is the scripted stand-in for an interactive designer who
+// agrees with every recommendation.
+type topRanked struct{}
+
+func (topRanked) ChooseScenario(q *core.GroupingQuestion) (int, error) {
+	if q.Ranking != nil {
+		return q.Ranking.Best, nil
+	}
+	return 1, nil
+}
+
+func (topRanked) SelectValues(q *core.ChoiceQuestion) ([][]int, error) {
+	out := make([][]int, len(q.Choices))
+	for i := range out {
+		out[i] = []int{0}
+		if len(q.Rankings) == len(q.Choices) {
+			out[i] = []int{q.Rankings[i].Best - 1}
+		}
+	}
+	return out, nil
+}

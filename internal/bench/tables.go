@@ -60,3 +60,16 @@ func rangeStr(lo, hi int) string {
 	}
 	return fmt.Sprintf("%d-%d", lo, hi)
 }
+
+// FormatAuto renders the questions-saved table.
+func FormatAuto(rows []AutoRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Auto-designer questions saved (interactive vs -auto)\n")
+	fmt.Fprintf(&b, "%-10s %12s %14s %12s %10s\n",
+		"Scenario", "questions", "auto-answered", "escalated", "% saved")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %14d %12d %9.0f%%\n",
+			r.Scenario, r.Questions, r.AutoAnswered, r.Escalated, r.Saved*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"muse/internal/obs"
+	"muse/internal/rank"
+)
+
+// AutoDesigner is the unattended designer: it answers every wizard
+// question whose ranking is decisive with the top-ranked choice and
+// escalates the rest — ties and low-confidence questions — to the
+// fallback designers. With no fallback attached it answers even the
+// indecisive questions top-ranked (counted separately as forced), so a
+// fully unattended run always completes.
+//
+// It only consumes the rankings the wizards attach; the wizards must
+// therefore have a rank.Scorer installed (Session.Rank does both). A
+// question arriving without a ranking counts as confidence zero.
+type AutoDesigner struct {
+	// Threshold is the minimum ranking confidence for an unattended
+	// answer; zero means rank.DefaultThreshold.
+	Threshold float64
+	// Grouping, when non-nil, receives escalated grouping questions.
+	Grouping GroupingDesigner
+	// Choices, when non-nil, receives escalated choice questions.
+	Choices DisambiguationDesigner
+	// Obs, when non-nil, mirrors the tallies onto its registry
+	// (muse_wizard_auto_*).
+	Obs *obs.Obs
+	// Stats tallies the run.
+	Stats AutoStats
+}
+
+// AutoStats counts how the auto-designer disposed of the questions it
+// saw.
+type AutoStats struct {
+	// Auto is the number of questions answered unattended with the
+	// top-ranked choice.
+	Auto int
+	// Escalated is the number handed to a fallback designer.
+	Escalated int
+	// Forced is the number of indecisive questions answered top-ranked
+	// because no fallback was attached.
+	Forced int
+}
+
+// Questions is the total the auto-designer saw.
+func (s AutoStats) Questions() int { return s.Auto + s.Escalated + s.Forced }
+
+// SavedFraction is the fraction answered without a human: auto plus
+// forced over total.
+func (s AutoStats) SavedFraction() float64 {
+	if t := s.Questions(); t > 0 {
+		return float64(s.Auto+s.Forced) / float64(t)
+	}
+	return 0
+}
+
+// NewAutoDesigner builds an unattended designer escalating to the
+// given fallbacks (either may be nil).
+func NewAutoDesigner(threshold float64, gd GroupingDesigner, dd DisambiguationDesigner) *AutoDesigner {
+	return &AutoDesigner{Threshold: threshold, Grouping: gd, Choices: dd}
+}
+
+func (a *AutoDesigner) threshold() float64 {
+	if a.Threshold > 0 {
+		return a.Threshold
+	}
+	return rank.DefaultThreshold
+}
+
+func (a *AutoDesigner) count(name string) {
+	if a.Obs != nil {
+		a.Obs.Reg.Counter(name).Inc()
+	}
+}
+
+// ChooseScenario answers a Muse-G question: the top-ranked scenario
+// when the ranking is decisive at the designer's threshold, the
+// fallback's answer otherwise.
+func (a *AutoDesigner) ChooseScenario(q *GroupingQuestion) (int, error) {
+	if rk := q.Ranking; rk != nil && rk.Confidence >= a.threshold() {
+		a.Stats.Auto++
+		a.count(obs.MWizardAutoAnswered)
+		return rk.Best, nil
+	}
+	if a.Grouping != nil {
+		a.Stats.Escalated++
+		a.count(obs.MWizardAutoEscalated)
+		return a.Grouping.ChooseScenario(q)
+	}
+	a.Stats.Forced++
+	a.count(obs.MWizardAutoForced)
+	if q.Ranking == nil {
+		return 0, fmt.Errorf("core: auto designer needs a ranking on %s (attach a rank.Scorer to the wizard)", q.SK)
+	}
+	return q.Ranking.Best, nil
+}
+
+// SelectValues answers a Muse-D question: when every or-group's
+// ranking is decisive, each group gets its top-ranked alternative;
+// otherwise the whole question escalates (the designer sees one
+// example covering every group, so it is answered as a unit).
+func (a *AutoDesigner) SelectValues(q *ChoiceQuestion) ([][]int, error) {
+	decisive := len(q.Rankings) == len(q.Choices)
+	for _, rk := range q.Rankings {
+		if rk.Confidence < a.threshold() {
+			decisive = false
+			break
+		}
+	}
+	if decisive {
+		a.Stats.Auto++
+		a.count(obs.MWizardAutoAnswered)
+		return topChoices(q.Rankings), nil
+	}
+	if a.Choices != nil {
+		a.Stats.Escalated++
+		a.count(obs.MWizardAutoEscalated)
+		return a.Choices.SelectValues(q)
+	}
+	a.Stats.Forced++
+	a.count(obs.MWizardAutoForced)
+	if len(q.Rankings) != len(q.Choices) {
+		return nil, fmt.Errorf("core: auto designer needs rankings on %s (attach a rank.Scorer to the wizard)", q.Mapping.Name)
+	}
+	return topChoices(q.Rankings), nil
+}
+
+// topChoices translates rankings into the designer's selection
+// encoding: the single top-ranked alternative per or-group, 0-based.
+func topChoices(rks []rank.Ranking) [][]int {
+	out := make([][]int, len(rks))
+	for i, rk := range rks {
+		out[i] = []int{rk.Best - 1}
+	}
+	return out
+}

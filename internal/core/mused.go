@@ -11,6 +11,7 @@ import (
 	"muse/internal/mapping"
 	"muse/internal/obs"
 	"muse/internal/query"
+	"muse/internal/rank"
 )
 
 // DisambiguationWizard is Muse-D: it resolves the or-predicates of an
@@ -32,6 +33,10 @@ type DisambiguationWizard struct {
 	// Parallel > 1 races that many partitions of each retrieval's
 	// candidate space under the timeout (deterministic results).
 	Parallel int
+	// Ranker, when non-nil, scores each or-group's alternatives
+	// against the real-instance evidence and attaches the rankings to
+	// the question envelope. Advisory only; nil adds no work.
+	Ranker *rank.Scorer
 	// Obs, when non-nil, mirrors the per-mapping stats onto its
 	// registry (muse_mused_*), threads through to the chase and query
 	// engines, and records one "mused.disambiguate" span per question.
@@ -194,6 +199,12 @@ func (w *DisambiguationWizard) Disambiguate(m *mapping.Mapping, d Disambiguation
 
 	question := &ChoiceQuestion{
 		Mapping: m, Source: ie, Real: real, Target: target, Choices: choices,
+	}
+	if w.Ranker != nil {
+		if w.Ranker.Store == nil {
+			w.Ranker.Store = w.Store
+		}
+		question.Rankings = w.Ranker.ScoreChoices(m)
 	}
 	// End as the question is posed (see askProbe): the selection
 	// arrives with the next request, and the span must land in the

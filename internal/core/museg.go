@@ -14,6 +14,7 @@ import (
 	"muse/internal/mapping"
 	"muse/internal/obs"
 	"muse/internal/query"
+	"muse/internal/rank"
 )
 
 // GroupingWizard is Muse-G: it designs the grouping functions of a
@@ -47,6 +48,12 @@ type GroupingWizard struct {
 	// Parallel > 1 races that many partitions of each retrieval's
 	// candidate space under the timeout (deterministic results).
 	Parallel int
+	// Ranker, when non-nil, scores each posed question's options
+	// against the real-instance evidence and attaches the ranking to
+	// the question envelope. Purely advisory: it never changes which
+	// questions are asked, their order, or their content, and the nil
+	// default adds no work (and no allocations) to the dialog path.
+	Ranker *rank.Scorer
 	// Obs, when non-nil, mirrors the per-SK stats onto its registry
 	// (muse_museg_*), threads through to the chase and query engines,
 	// and records "museg.*" spans. Nil disables all of it.
@@ -79,6 +86,16 @@ func (w *GroupingWizard) retrieval() query.Options {
 		w.Store = query.NewIndexStore(w.Real).Observe(w.Obs.Registry())
 	}
 	return query.Options{Timeout: w.Timeout, Ctx: w.Ctx, Store: w.Store, Parallel: w.Parallel, Obs: w.Obs}
+}
+
+// ranker returns the attached scorer with the session's shared index
+// store installed (the store may have been created lazily after the
+// scorer was attached). Callers check w.Ranker != nil first.
+func (w *GroupingWizard) ranker() *rank.Scorer {
+	if w.Ranker.Store == nil {
+		w.Ranker.Store = w.Store
+	}
+	return w.Ranker
 }
 
 // recordSK appends one grouping function's record and mirrors its
@@ -311,6 +328,10 @@ func (w *GroupingWizard) askProbe(m *mapping.Mapping, fn string, poss, confirmed
 		Scenario1: s1, Scenario2: s2,
 		Include1: with, Include2: confirmed,
 	}
+	if w.Ranker != nil {
+		rk := w.ranker().ScoreProbe(m, probe, confirmed)
+		q.Ranking = &rk
+	}
 	// Use the designer's think time to retrieve the next probe's
 	// example speculatively, for both possible answers (Sec. VI).
 	if w.prefetch != nil && w.Real != nil && next != nil {
@@ -367,6 +388,10 @@ func (w *GroupingWizard) askKeyGrouping(m *mapping.Mapping, fn string, keyAttrs,
 		Kind: QuestionKeyGrouping, Mapping: m, SK: fn,
 		Source: ie, Real: real, Scenario1: s1, Scenario2: s2,
 		Include1: keyAttrs, Include2: nil,
+	}
+	if w.Ranker != nil {
+		rk := w.ranker().ScoreKeyGrouping(m, keyAttrs, rest)
+		q.Ranking = &rk
 	}
 	ans, err := d.ChooseScenario(q)
 	if err != nil {

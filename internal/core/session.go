@@ -6,6 +6,7 @@ import (
 	"muse/internal/mapping"
 	"muse/internal/obs"
 	"muse/internal/query"
+	"muse/internal/rank"
 )
 
 // Session is the complete Muse design pipeline of Sec. V: starting
@@ -44,6 +45,24 @@ func (s *Session) Observe(o *obs.Obs) *Session {
 	if s.Grouping.Store != nil {
 		s.Grouping.Store.Observe(o.Registry())
 	}
+	return s
+}
+
+// Rank attaches an evidence ranker to both wizards, sharing the
+// session's index store so scoring is warm and allocation-lean. Every
+// question envelope then carries per-option scores; threshold sets the
+// confidence below which a ranking is not decisive (0 means
+// rank.DefaultThreshold). Rankings are advisory: the dialog's
+// questions, order, and content are unchanged. Returns the session
+// for chaining.
+func (s *Session) Rank(threshold float64) *Session {
+	sc := &rank.Scorer{
+		Deps:      s.Grouping.SrcDeps,
+		Store:     s.Grouping.Store,
+		Threshold: threshold,
+	}
+	s.Grouping.Ranker = sc
+	s.Disambiguation.Ranker = sc
 	return s
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"muse/internal/instance"
 	"muse/internal/mapping"
+	"muse/internal/rank"
 )
 
 // QuestionKind distinguishes the questions Muse-G can pose.
@@ -45,6 +46,11 @@ type GroupingQuestion struct {
 	// Include1 and Include2 are the grouping-argument lists behind the
 	// two scenarios, for display.
 	Include1, Include2 []mapping.Expr
+	// Ranking, when the wizard has an evidence ranker attached, scores
+	// the two scenarios against the real instance (option 1 is
+	// Scenario1). It is advisory metadata: attaching a ranker never
+	// changes which questions are posed, their order, or their content.
+	Ranking *rank.Ranking
 }
 
 // GroupingDesigner answers Muse-G's questions: 1 selects Scenario1, 2
@@ -72,6 +78,10 @@ type ChoiceQuestion struct {
 	Target *instance.Instance
 	// Choices lists, per or-group, the candidate values.
 	Choices []Choice
+	// Rankings, when the wizard has an evidence ranker attached, holds
+	// one ranking per or-group, aligned with Choices (option i scores
+	// the i-th alternative). Advisory metadata only.
+	Rankings []rank.Ranking
 }
 
 // DisambiguationDesigner fills in the choices: for each or-group, the

@@ -1,0 +1,233 @@
+package crosscheck
+
+import (
+	"fmt"
+	"strings"
+
+	"muse/internal/core"
+	"muse/internal/deps"
+	"muse/internal/instance"
+	"muse/internal/mapping"
+	"muse/internal/rank"
+	"muse/internal/scenarios"
+)
+
+// The auto oracle holds the evidence ranker and the unattended
+// designer to their two contracts:
+//
+//  1. Determinism: an auto-mode run is a pure function of the scenario
+//     — the same questions, the same rankings (scores, confidence,
+//     decisiveness), and the same refined mappings, byte for byte,
+//     regardless of GOMAXPROCS or how warm the shared index store is.
+//
+//  2. Advisory rankings: attaching a ranker never changes which
+//     questions are posed, their order, or their content. When a
+//     scripted oracle agrees with the top-ranked choice at every step,
+//     the auto-mode run is byte-identical to the interactive baseline
+//     run without any ranker.
+
+// autoCases returns the dialog inputs the auto oracle checks: the
+// builtin figure scenarios plus the four Sec. VI evaluation scenarios
+// with synthetic instances at cfg.Scale (real evidence for the
+// scorer).
+func autoCases(cfg Config) []wizardCase {
+	cases := wizardCases()
+	for _, sc := range scenarios.All() {
+		sc := sc
+		cases = append(cases, wizardCase{
+			name: strings.ToLower(sc.Name),
+			build: func() (*deps.Set, *instance.Instance, *mapping.Set) {
+				set, err := sc.Generate()
+				if err != nil {
+					panic(fmt.Sprintf("scenario %s: %v", sc.Name, err))
+				}
+				return sc.Src, sc.NewInstance(cfg.Scale), set
+			},
+		})
+	}
+	return cases
+}
+
+// renderRankingLine flattens one ranking for byte comparison.
+func renderRankingLine(r *rank.Ranking) string {
+	if r == nil {
+		return "ranking=nil"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranking best=%d conf=%.4f decisive=%v", r.Best, r.Confidence, r.Decisive)
+	for _, s := range r.Scores {
+		fmt.Fprintf(&b, " [%d]=%.4f(%s)", s.Option, s.Value, s.Evidence)
+	}
+	return b.String()
+}
+
+// follower is the scripted oracle that agrees with the top-ranked
+// choice at every step. It records each exchange twice: the question
+// as a designer observes it (renderGroupingQ/renderChoiceQ, no
+// rankings) and the attached rankings, so the two determinism
+// comparisons can be made independently.
+type follower struct {
+	log      []qa
+	rankings []string
+}
+
+func (f *follower) ChooseScenario(q *core.GroupingQuestion) (int, error) {
+	ans := 1
+	if q.Ranking != nil {
+		ans = q.Ranking.Best
+	}
+	f.log = append(f.log, qa{renderGroupingQ(q), core.Answer{Scenario: ans}})
+	f.rankings = append(f.rankings, renderRankingLine(q.Ranking))
+	return ans, nil
+}
+
+func (f *follower) SelectValues(q *core.ChoiceQuestion) ([][]int, error) {
+	choices := make([][]int, len(q.Choices))
+	var lines []string
+	for gi := range q.Choices {
+		idx := 0
+		if len(q.Rankings) == len(q.Choices) {
+			idx = q.Rankings[gi].Best - 1
+		}
+		choices[gi] = []int{idx}
+	}
+	for gi := range q.Rankings {
+		lines = append(lines, renderRankingLine(&q.Rankings[gi]))
+	}
+	f.log = append(f.log, qa{renderChoiceQ(q), core.Answer{Choices: choices}})
+	f.rankings = append(f.rankings, strings.Join(lines, "\n"))
+	return choices, nil
+}
+
+// scripted replays a recorded dialog, failing loudly when the posed
+// question diverges from the recording.
+type scripted struct {
+	log []qa
+	i   int
+}
+
+func (s *scripted) next(got string) (core.Answer, error) {
+	if s.i >= len(s.log) {
+		return core.Answer{}, fmt.Errorf("crosscheck: question %d beyond the %d recorded", s.i+1, len(s.log))
+	}
+	rec := s.log[s.i]
+	s.i++
+	if got != rec.question {
+		return core.Answer{}, fmt.Errorf("crosscheck: question %d diverged from the recording:\n--- recorded ---\n%s\n--- replayed ---\n%s", s.i, rec.question, got)
+	}
+	return rec.answer, nil
+}
+
+func (s *scripted) ChooseScenario(q *core.GroupingQuestion) (int, error) {
+	a, err := s.next(renderGroupingQ(q))
+	return a.Scenario, err
+}
+
+func (s *scripted) SelectValues(q *core.ChoiceQuestion) ([][]int, error) {
+	a, err := s.next(renderChoiceQ(q))
+	return a.Choices, err
+}
+
+// CheckAuto runs the auto oracle over every case.
+func CheckAuto(cfg Config) []Failure {
+	cfg = cfg.withDefaults()
+	var fails []Failure
+	for _, ac := range autoCases(cfg) {
+		var f *Failure
+		if err := guard(func() error {
+			f = checkAutoCase(ac)
+			return nil
+		}); err != nil {
+			f = &Failure{Oracle: "auto", Detail: fmt.Sprintf("case panicked: %v", err)}
+		}
+		if f != nil {
+			f.Oracle = "auto"
+			f.Case = ac.name
+			f.Seed = cfg.Seed
+			fails = append(fails, *f)
+		}
+		cfg.logf("  auto case %s: checked", ac.name)
+	}
+	return fails
+}
+
+func checkAutoCase(ac wizardCase) *Failure {
+	fail := func(detail string) *Failure { return &Failure{Detail: detail} }
+
+	runRanked := func() (*follower, *mapping.Set, error) {
+		sd, real, set := ac.build()
+		f := &follower{}
+		out, err := core.NewSession(sd, real).Rank(0).Run(set, f, f)
+		return f, out, err
+	}
+
+	// Reference ranked run.
+	ref, refOut, err := runRanked()
+	if err != nil {
+		return fail(fmt.Sprintf("ranked Session.Run failed: %v", err))
+	}
+	if len(ref.log) == 0 {
+		return fail("ranked run asked no questions (nothing checked)")
+	}
+
+	// Determinism: the identical run under forced parallelism (fresh
+	// scenario copy, cold store) must reproduce questions, rankings,
+	// and the refined mappings byte for byte.
+	var par *follower
+	var parOut *mapping.Set
+	var parErr error
+	forceParallel(8, func() { par, parOut, parErr = runRanked() })
+	if parErr != nil {
+		return fail(fmt.Sprintf("parallel ranked Session.Run failed: %v", parErr))
+	}
+	if len(par.log) != len(ref.log) {
+		return fail(fmt.Sprintf("question count diverged across GOMAXPROCS: %d vs %d", len(ref.log), len(par.log)))
+	}
+	for i := range ref.log {
+		if par.log[i].question != ref.log[i].question {
+			return fail(fmt.Sprintf("question %d diverged across GOMAXPROCS:\n--- reference ---\n%s\n--- parallel ---\n%s", i+1, ref.log[i].question, par.log[i].question))
+		}
+		if par.rankings[i] != ref.rankings[i] {
+			return fail(fmt.Sprintf("ranking %d diverged across GOMAXPROCS:\n--- reference ---\n%s\n--- parallel ---\n%s", i+1, ref.rankings[i], par.rankings[i]))
+		}
+	}
+	if got, want := formatMappingSet(parOut), formatMappingSet(refOut); got != want {
+		return fail(fmt.Sprintf("refined mappings diverged across GOMAXPROCS:\n--- reference ---\n%s\n--- parallel ---\n%s", want, got))
+	}
+
+	// Unattended determinism: AutoDesigner with the follower as
+	// fallback answers every decisive question itself and must land on
+	// the same refined mappings (the follower would give the top-ranked
+	// answer anyway, so the dialogs coincide step for step).
+	sd, real, set := ac.build()
+	fb := &follower{}
+	ad := core.NewAutoDesigner(0, fb, fb)
+	autoOut, err := core.NewSession(sd, real).Rank(0).Run(set, ad, ad)
+	if err != nil {
+		return fail(fmt.Sprintf("AutoDesigner Session.Run failed: %v", err))
+	}
+	if got := ad.Stats.Questions(); got != len(ref.log) {
+		return fail(fmt.Sprintf("AutoDesigner saw %d questions, reference saw %d", got, len(ref.log)))
+	}
+	if got, want := formatMappingSet(autoOut), formatMappingSet(refOut); got != want {
+		return fail(fmt.Sprintf("AutoDesigner mappings diverged from the agreeing oracle's:\n--- oracle ---\n%s\n--- auto ---\n%s", want, got))
+	}
+
+	// Advisory rankings: replaying the recorded answers through a
+	// session with NO ranker must pose byte-identical questions and
+	// refine to byte-identical mappings — the interactive baseline of
+	// an oracle that happens to agree with every recommendation.
+	sd2, real2, set2 := ac.build()
+	sc := &scripted{log: ref.log}
+	baseOut, err := core.NewSession(sd2, real2).Run(set2, sc, sc)
+	if err != nil {
+		return fail(fmt.Sprintf("unranked baseline replay failed: %v", err))
+	}
+	if sc.i != len(ref.log) {
+		return fail(fmt.Sprintf("unranked baseline asked %d questions, ranked run asked %d", sc.i, len(ref.log)))
+	}
+	if got, want := formatMappingSet(baseOut), formatMappingSet(refOut); got != want {
+		return fail(fmt.Sprintf("auto-mode mappings diverged from the interactive baseline:\n--- baseline ---\n%s\n--- ranked ---\n%s", want, got))
+	}
+	return nil
+}

@@ -50,7 +50,7 @@ func (c Config) logf(format string, args ...any) {
 // found. String renders everything a human needs to reproduce it.
 type Failure struct {
 	// Oracle is the family that tripped: "chase", "query", "wizard",
-	// "resume", "server".
+	// "resume", "server", "auto".
 	Oracle string
 	// Case names the input (builtin scenario name or generated-case
 	// label including its derivation seed).
@@ -73,7 +73,7 @@ func (f Failure) String() string {
 	return s
 }
 
-// RunAll runs the five oracle families and returns every failure
+// RunAll runs the six oracle families and returns every failure
 // found. An empty slice is the pass verdict.
 func RunAll(cfg Config) []Failure {
 	cfg = cfg.withDefaults()
@@ -87,6 +87,7 @@ func RunAll(cfg Config) []Failure {
 		{"wizard", CheckWizard},
 		{"resume", CheckResume},
 		{"server", CheckServer},
+		{"auto", CheckAuto},
 	} {
 		cfg.logf("crosscheck: %s oracle...", run.name)
 		fs := run.fn(cfg)

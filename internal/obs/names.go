@@ -49,6 +49,11 @@ const (
 	MMuseDSyntheticExamples = "muse_mused_synthetic_examples_total"
 	MMuseDSourceTuples      = "muse_mused_source_tuples_total"
 
+	// auto-designer (core.AutoDesigner over internal/rank scores)
+	MWizardAutoAnswered  = "muse_wizard_auto_answered_total"  // questions answered with the top-ranked choice
+	MWizardAutoEscalated = "muse_wizard_auto_escalated_total" // indecisive questions handed to the fallback designer
+	MWizardAutoForced    = "muse_wizard_auto_forced_total"    // indecisive questions answered top-ranked for lack of a fallback
+
 	// mapping generation (cmd/musegen)
 	MGenMappings  = "muse_gen_mappings_total"
 	MGenAmbiguous = "muse_gen_ambiguous_total"

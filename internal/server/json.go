@@ -133,6 +133,17 @@ func (w *jw) int(n int) {
 	w.buf.Write(w.scratch)
 }
 
+// float writes a JSON number the way encoding/json renders it for
+// zero and for magnitudes in [1e-6, 1e21) — the only values the
+// ranking fields carry (they are quantized to four decimals in [0,1]).
+// Outside that band encoding/json switches to exponent form, which
+// this writer deliberately does not implement.
+func (w *jw) float(f float64) {
+	w.elem()
+	w.scratch = strconv.AppendFloat(w.scratch[:0], f, 'f', -1, 64)
+	w.buf.Write(w.scratch)
+}
+
 func (w *jw) bool(v bool) {
 	w.elem()
 	if v {

@@ -134,6 +134,13 @@ type Manager struct {
 	// replica transparently resumes mid-dialog. Nil keeps the original
 	// memory-only behavior. Set before serving traffic.
 	Store SessionStore
+	// AutoThreshold, when positive, attaches the evidence ranker to
+	// every session (created and resumed alike, so replays rebuild
+	// bit-identical dialogs): question envelopes then carry per-option
+	// scores and a "decisive" verdict at this confidence threshold,
+	// letting clients auto-answer. Zero (the default) disables ranking
+	// entirely. Set before serving traffic.
+	AutoThreshold float64
 
 	mu        sync.RWMutex
 	sessions  map[string]*Session
@@ -143,10 +150,10 @@ type Manager struct {
 	// when Obs is nil) so the request path never takes the registry's
 	// mutex.
 	mRequests, mStarted, mRejected, mEvicted *obs.Counter
-	mAnswers, mInvalid, mErrors, mSlow      *obs.Counter
-	mFinished, mResumes                     *obs.Counter
-	gLive                                   *obs.Gauge
-	hStep                                   *obs.Histogram
+	mAnswers, mInvalid, mErrors, mSlow       *obs.Counter
+	mFinished, mResumes                      *obs.Counter
+	gLive                                    *obs.Gauge
+	hStep                                    *obs.Histogram
 	// scSteps holds one per-scenario step counter per configured
 	// scenario (labeled series under obs.MSrvScenarioSteps), resolved
 	// once here; the map is never written after NewManager.
@@ -290,6 +297,9 @@ func (mg *Manager) coreSession(sc *Scenario) *core.Session {
 	cs.Grouping.Store = store
 	cs.Grouping.Prefetch = false
 	cs.Disambiguation.Store = store
+	if mg.AutoThreshold > 0 {
+		cs.Rank(mg.AutoThreshold)
+	}
 	return cs
 }
 

@@ -6,6 +6,7 @@ import (
 	"muse/internal/mapping"
 	"muse/internal/nr"
 	"muse/internal/parser"
+	"muse/internal/rank"
 )
 
 // RenderInstance converts an instance into a JSON-encodable tree:
@@ -65,13 +66,34 @@ func renderExprs(es []mapping.Expr) []string {
 	return out
 }
 
+// renderRanking shapes one rank.Ranking: the per-option scores with
+// their evidence, the recommended option, and whether the margin
+// clears the scorer's threshold. All floats are pre-quantized by the
+// rank package, so the rendering is deterministic and short.
+func renderRanking(r *rank.Ranking) map[string]any {
+	scores := []map[string]any{}
+	for _, s := range r.Scores {
+		scores = append(scores, map[string]any{
+			"option":   s.Option,
+			"value":    s.Value,
+			"evidence": s.Evidence,
+		})
+	}
+	return map[string]any{
+		"best":       r.Best,
+		"confidence": r.Confidence,
+		"decisive":   r.Decisive,
+		"scores":     scores,
+	}
+}
+
 // renderGrouping shapes a Muse-G two-scenario question.
 func renderGrouping(q *core.GroupingQuestion) map[string]any {
 	probe := ""
 	if q.Probe.Var != "" {
 		probe = q.Probe.String()
 	}
-	return map[string]any{
+	out := map[string]any{
 		"mapping":   q.Mapping.Name,
 		"sk":        q.SK,
 		"probe":     probe,
@@ -87,6 +109,10 @@ func renderGrouping(q *core.GroupingQuestion) map[string]any {
 			"target":   RenderInstance(q.Scenario2),
 		},
 	}
+	if q.Ranking != nil {
+		out["ranking"] = renderRanking(q.Ranking)
+	}
+	return out
 }
 
 // renderChoice shapes the single Muse-D question of an ambiguous
@@ -103,13 +129,21 @@ func renderChoice(q *core.ChoiceQuestion) map[string]any {
 			"values":  vals,
 		})
 	}
-	return map[string]any{
+	out := map[string]any{
 		"mapping": q.Mapping.Name,
 		"real":    q.Real,
 		"source":  RenderInstance(q.Source),
 		"target":  RenderInstance(q.Target),
 		"choices": choices,
 	}
+	if len(q.Rankings) > 0 {
+		rks := []map[string]any{}
+		for i := range q.Rankings {
+			rks = append(rks, renderRanking(&q.Rankings[i]))
+		}
+		out["rankings"] = rks
+	}
+	return out
 }
 
 // renderMappings shapes a terminal result: the refined mappings in the

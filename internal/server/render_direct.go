@@ -9,6 +9,7 @@ import (
 	"muse/internal/mapping"
 	"muse/internal/nr"
 	"muse/internal/parser"
+	"muse/internal/rank"
 )
 
 // This file is the serving twin of render.go: the same response
@@ -119,6 +120,32 @@ func appendExprs(w *jw, es []mapping.Expr) {
 	w.closeArr()
 }
 
+// appendRanking writes the renderRanking shape. Sorted keys: best,
+// confidence, decisive, scores; per score: evidence, option, value.
+func appendRanking(w *jw, r *rank.Ranking) {
+	w.openObj()
+	w.key("best")
+	w.int(r.Best)
+	w.key("confidence")
+	w.float(r.Confidence)
+	w.key("decisive")
+	w.bool(r.Decisive)
+	w.key("scores")
+	w.openArr()
+	for _, s := range r.Scores {
+		w.openObj()
+		w.key("evidence")
+		w.str(s.Evidence)
+		w.key("option")
+		w.int(s.Option)
+		w.key("value")
+		w.float(s.Value)
+		w.closeObj()
+	}
+	w.closeArr()
+	w.closeObj()
+}
+
 // appendGrouping writes the renderGrouping shape.
 func appendGrouping(w *jw, q *core.GroupingQuestion) {
 	w.openObj()
@@ -131,6 +158,10 @@ func appendGrouping(w *jw, q *core.GroupingQuestion) {
 		w.str(q.Probe.String())
 	} else {
 		w.str("")
+	}
+	if q.Ranking != nil {
+		w.key("ranking")
+		appendRanking(w, q.Ranking)
 	}
 	w.key("real")
 	w.bool(q.Real)
@@ -175,6 +206,14 @@ func appendChoice(w *jw, q *core.ChoiceQuestion) {
 	w.closeArr()
 	w.key("mapping")
 	w.str(q.Mapping.Name)
+	if len(q.Rankings) > 0 {
+		w.key("rankings")
+		w.openArr()
+		for i := range q.Rankings {
+			appendRanking(w, &q.Rankings[i])
+		}
+		w.closeArr()
+	}
 	w.key("real")
 	w.bool(q.Real)
 	w.key("source")

@@ -50,64 +50,85 @@ func requireSameStep(t *testing.T, s *Session, step core.Step) {
 }
 
 // TestRenderDirectDialogs drives full dialogs over every builtin
-// scenario through the Stepper and requires the direct renderer to
-// reproduce the encoding/json output byte-identically on every step —
-// grouping questions, choice questions, the terminal step, and the
-// result document.
+// scenario through the Stepper — with ranking disabled and enabled —
+// and requires the direct renderer to reproduce the encoding/json
+// output byte-identically on every step: grouping questions (with and
+// without the "ranking" block), choice questions (ditto "rankings"),
+// the terminal step, and the result document.
 func TestRenderDirectDialogs(t *testing.T) {
 	ctx := context.Background()
-	for name := range Builtin() {
-		t.Run(name, func(t *testing.T) {
-			mg := NewManager(Builtin(), obs.New())
-			defer mg.Close()
-			s, err := mg.Create(ctx, name)
-			if err != nil {
-				t.Fatal(err)
+	for _, threshold := range []float64{0, 0.1} {
+		for name := range Builtin() {
+			label := name
+			if threshold > 0 {
+				label += "-ranked"
 			}
-			defer s.Release()
-
-			step, err := s.Stepper.Step(ctx)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for n := 0; !step.Done; n++ {
-				if n > 100 {
-					t.Fatal("dialog did not terminate")
-				}
-				requireSameStep(t, s, step)
-				var a core.Answer
-				switch {
-				case step.Grouping != nil:
-					a.Scenario = 1 + n%2
-				case step.Choice != nil:
-					a.Choices = make([][]int, len(step.Choice.Choices))
-					for i := range a.Choices {
-						a.Choices[i] = []int{0}
-					}
-				}
-				if step, err = s.Stepper.Answer(ctx, a); err != nil {
+			t.Run(label, func(t *testing.T) {
+				mg := NewManager(Builtin(), obs.New())
+				mg.AutoThreshold = threshold
+				defer mg.Close()
+				s, err := mg.Create(ctx, name)
+				if err != nil {
 					t.Fatal(err)
 				}
-			}
-			requireSameStep(t, s, step)
-			if step.Err != nil {
-				t.Fatalf("dialog failed: %v", step.Err)
-			}
+				defer s.Release()
 
-			// The terminal result document.
-			res := s.Stepper.Result()
-			want := encodeRef(t, map[string]any{
-				"token": s.Token, "scenario": s.ScenarioName,
-				"state": "done", "questions": res.Seq, "mappings": renderMappings(res.Result),
+				step, err := s.Stepper.Step(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ranked := 0
+				for n := 0; !step.Done; n++ {
+					if n > 100 {
+						t.Fatal("dialog did not terminate")
+					}
+					requireSameStep(t, s, step)
+					var a core.Answer
+					switch {
+					case step.Grouping != nil:
+						if step.Grouping.Ranking != nil {
+							ranked++
+						}
+						a.Scenario = 1 + n%2
+					case step.Choice != nil:
+						if len(step.Choice.Rankings) > 0 {
+							ranked++
+						}
+						a.Choices = make([][]int, len(step.Choice.Choices))
+						for i := range a.Choices {
+							a.Choices[i] = []int{0}
+						}
+					}
+					if step, err = s.Stepper.Answer(ctx, a); err != nil {
+						t.Fatal(err)
+					}
+				}
+				requireSameStep(t, s, step)
+				if step.Err != nil {
+					t.Fatalf("dialog failed: %v", step.Err)
+				}
+				if threshold > 0 && ranked == 0 {
+					t.Fatal("AutoThreshold set but no step carried a ranking")
+				}
+				if threshold == 0 && ranked != 0 {
+					t.Fatalf("ranking disabled but %d step(s) carried one", ranked)
+				}
+
+				// The terminal result document.
+				res := s.Stepper.Result()
+				want := encodeRef(t, map[string]any{
+					"token": s.Token, "scenario": s.ScenarioName,
+					"state": "done", "questions": res.Seq, "mappings": renderMappings(res.Result),
+				})
+				w := getJW()
+				appendResult(w, s, res)
+				got := append([]byte(nil), w.bytes()...)
+				putJW(w)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("direct result rendering diverges at byte %d", diffAt(got, want))
+				}
 			})
-			w := getJW()
-			appendResult(w, s, res)
-			got := append([]byte(nil), w.bytes()...)
-			putJW(w)
-			if !bytes.Equal(got, want) {
-				t.Fatalf("direct result rendering diverges at byte %d", diffAt(got, want))
-			}
-		})
+		}
 	}
 }
 

@@ -373,3 +373,73 @@ func TestConcurrentResumeBusy(t *testing.T) {
 		t.Fatalf("resume counter = %d, want exactly 1", got)
 	}
 }
+
+// TestRejectedAnswerNotPersisted: an answer bounced with
+// ErrInvalidAnswer must never reach the session store. The write-
+// through in Manager.Answer appends only when Stepper.Accepted grew;
+// this test holds it there: reject an answer mid-dialog, kill the
+// replica without a graceful close, and require the rebooted replica
+// to replay only the accepted answers and re-pose the same pending
+// question byte-identically.
+func TestRejectedAnswerNotPersisted(t *testing.T) {
+	answers, _ := fig1Answers(t)
+	dir := t.TempDir()
+
+	ws, _, err := walstore.Open(dir, walstore.Options{Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := server.NewManager(server.Builtin(), obs.New())
+	mg.Store = ws
+	ts := httptest.NewServer(server.New(mg))
+
+	token := createFig1(t, ts.URL)
+	const accepted = 3
+	answerFig1(t, ts.URL, token, answers, 0, accepted)
+
+	// An out-of-range scenario must bounce without advancing the dialog.
+	status, body := api(t, "POST", ts.URL+"/v1/sessions/"+token+"/answer",
+		map[string]any{"scenario": 7})
+	if status != http.StatusUnprocessableEntity || body["code"] != "invalid_answer" {
+		t.Fatalf("invalid answer: status %d body %v, want 422 invalid_answer", status, body)
+	}
+	status, pending := rawStep(t, "GET", ts.URL+"/v1/sessions/"+token, "")
+	if status != http.StatusOK {
+		t.Fatalf("pending question after rejection: status %d", status)
+	}
+
+	// Kill the replica: no graceful shutdown between rejection and
+	// inspection, so anything wrongly written would be on disk now.
+	ts.Close()
+	mg.Close()
+	ws.Close()
+
+	ws2, stats, err := walstore.Open(dir, walstore.Options{Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions != 1 || stats.Corrupt != 0 || stats.TornTails != 0 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	ss, ok, err := ws2.Load(token)
+	if err != nil || !ok {
+		t.Fatalf("Load(%s): ok=%v err=%v", token, ok, err)
+	}
+	if len(ss.Answers) != accepted {
+		t.Fatalf("store holds %d answers, want %d (rejected answer persisted?)", len(ss.Answers), accepted)
+	}
+
+	mg2 := server.NewManager(server.Builtin(), obs.New())
+	mg2.Store = ws2
+	ts2 := httptest.NewServer(server.New(mg2))
+	t.Cleanup(ts2.Close)
+	t.Cleanup(mg2.Close)
+
+	status, replayed := rawStep(t, "GET", ts2.URL+"/v1/sessions/"+token, "")
+	if status != http.StatusOK {
+		t.Fatalf("pending question after restart: status %d body %s", status, replayed)
+	}
+	if string(pending) != string(replayed) {
+		t.Fatalf("replayed dialog poses a different question:\n--- before kill ---\n%s\n--- replayed ---\n%s", pending, replayed)
+	}
+}

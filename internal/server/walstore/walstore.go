@@ -442,7 +442,11 @@ func (s *Store) Delete(token string) (bool, error) {
 	return true, nil
 }
 
-// Tokens implements server.SessionStore.
+// Tokens implements server.SessionStore. Only names the store itself
+// could have written count: <valid token>.wal. Leftover .tmp
+// compaction files and stray files in a shared directory must never
+// surface as resumable tokens — a reported token must round-trip
+// through Replay, which rejects non-token names.
 func (s *Store) Tokens() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -450,8 +454,12 @@ func (s *Store) Tokens() ([]string, error) {
 	}
 	var out []string
 	for _, e := range entries {
-		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".wal") {
-			out = append(out, strings.TrimSuffix(name, ".wal"))
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		if token := strings.TrimSuffix(name, ".wal"); validToken(token) {
+			out = append(out, token)
 		}
 	}
 	return out, nil

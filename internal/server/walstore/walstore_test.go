@@ -217,3 +217,36 @@ func TestAbandonedTmpCleanedUp(t *testing.T) {
 		t.Fatal("abandoned .tmp not removed at boot")
 	}
 }
+
+// TestTokensFiltersNonTokenFiles plants the debris a shared WAL
+// directory can accumulate — a leftover .tmp compaction file (without
+// a reboot to sweep it) and stray non-token .wal files — and requires
+// Tokens to report only names the store itself could have written.
+// Every reported token must be resumable: Load must accept it.
+func TestTokensFiltersNonTokenFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	seed(t, s, 2)
+	for _, plant := range []string{
+		tok + ".wal.tmp",                     // compaction in flight (or abandoned, pre-sweep)
+		"notes.wal",                          // stray file with the right suffix, wrong name
+		"ABCDEF00112233445566778899aabb.wal", // uppercase: not a minted token
+		"readme.txt",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, plant), []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tokens, err := s.Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 1 || tokens[0] != tok {
+		t.Fatalf("Tokens = %v, want [%s]", tokens, tok)
+	}
+	for _, token := range tokens {
+		if _, ok, err := s.Load(token); err != nil || !ok {
+			t.Fatalf("reported token %q does not load: ok=%v err=%v", token, ok, err)
+		}
+	}
+}

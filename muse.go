@@ -55,6 +55,7 @@ import (
 	"muse/internal/nr"
 	"muse/internal/obs"
 	"muse/internal/parser"
+	"muse/internal/rank"
 	"muse/internal/server"
 )
 
@@ -242,6 +243,37 @@ func NewDisambiguationWizard(src *Constraints, real *Instance) *DisambiguationWi
 // NewSession builds the full pipeline: Muse-D, then Muse-G.
 func NewSession(src *Constraints, real *Instance) *Session {
 	return core.NewSession(src, real)
+}
+
+// --- evidence ranking and unattended design ---
+
+type (
+	// Ranking is the evidence scorer's verdict on one wizard question:
+	// per-option scores, the recommended option, and whether the margin
+	// is decisive. Wizards attach one to each question when a
+	// rank.Scorer is installed (Session.Rank); rankings are advisory
+	// and never change which questions are posed.
+	Ranking = rank.Ranking
+	// RankScore is one scored option of a Ranking.
+	RankScore = rank.Score
+	// AutoDesigner answers decisively ranked questions unattended and
+	// escalates the rest to fallback designers.
+	AutoDesigner = core.AutoDesigner
+	// AutoStats tallies how an AutoDesigner disposed of its questions.
+	AutoStats = core.AutoStats
+)
+
+// DefaultRankThreshold is the confidence margin below which a ranking
+// is not decisive.
+const DefaultRankThreshold = rank.DefaultThreshold
+
+// NewAutoDesigner builds an unattended designer at the given
+// confidence threshold (zero means DefaultRankThreshold), escalating
+// indecisive questions to the fallbacks (either may be nil; with no
+// fallback, indecisive questions are answered top-ranked anyway). The
+// session must have ranking enabled: see Session.Rank.
+func NewAutoDesigner(threshold float64, gd GroupingDesigner, dd DisambiguationDesigner) *AutoDesigner {
+	return core.NewAutoDesigner(threshold, gd, dd)
 }
 
 // --- serving: resumable dialogs and the HTTP session server ---
